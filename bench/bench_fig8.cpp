@@ -1,0 +1,57 @@
+// Reproduces Fig. 8 (M = 30): (a) accumulated job latency versus number of
+// completed jobs and (b) energy usage versus number of completed jobs, for
+// round-robin, DRL-only and the hierarchical framework.
+//
+// The paper's qualitative shape: round-robin has the lowest latency curve
+// but the steepest energy curve; the hierarchical framework's energy curve
+// is the lowest throughout; its latency lies between the other two.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+void print_series(const std::vector<hcrl::core::ExperimentResult>& results) {
+  std::printf("\nFig. 8(a): accumulated latency (1e6 s) vs jobs completed\n");
+  std::printf("%10s", "jobs");
+  for (const auto& r : results) std::printf(" %20s", r.system.c_str());
+  std::printf("\n");
+  const std::size_t rows = results[0].series.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::printf("%10zu", results[0].series[i].jobs_completed);
+    for (const auto& r : results) {
+      std::printf(" %20.3f", i < r.series.size() ? r.series[i].accumulated_latency_s / 1e6 : 0.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFig. 8(b): energy usage (kWh) vs jobs completed\n");
+  std::printf("%10s", "jobs");
+  for (const auto& r : results) std::printf(" %20s", r.system.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::printf("%10zu", results[0].series[i].jobs_completed);
+    for (const auto& r : results) {
+      std::printf(" %20.2f", i < r.series.size() ? r.series[i].energy_kwh : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t jobs = hcrl::bench::env_jobs(95000);
+  auto cfg = hcrl::bench::paper_config(30, jobs);
+  cfg.checkpoint_every_jobs = jobs / 19;  // ~19 points like the paper's plots
+
+  std::printf("=== Fig. 8: M = 30, %zu jobs ===\n", jobs);
+  const auto results = hcrl::core::run_comparison(
+      cfg, {hcrl::core::SystemKind::kRoundRobin, hcrl::core::SystemKind::kDrlOnly,
+            hcrl::core::SystemKind::kHierarchical});
+  print_series(results);
+
+  hcrl::bench::print_result_header();
+  for (const auto& r : results) hcrl::bench::print_result_row(r);
+  return 0;
+}

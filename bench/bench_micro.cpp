@@ -1,0 +1,127 @@
+// Micro-benchmarks (google-benchmark) supporting the paper's §V-B claim
+// that the global tier's online complexity is low: one decision costs K
+// autoencoder encodes + K Sub-Q forwards, i.e. microseconds per job arrival.
+#include <benchmark/benchmark.h>
+
+#include "src/core/qnetwork.hpp"
+#include "src/core/state.hpp"
+#include "src/nn/init.hpp"
+#include "src/nn/lstm.hpp"
+#include "src/rl/smdp.hpp"
+#include "src/rl/tabular_q.hpp"
+#include "src/sim/cluster.hpp"
+#include "src/workload/generator.hpp"
+
+namespace {
+using namespace hcrl;
+
+void BM_MatrixVectorMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  nn::Matrix m(n, n, 0.5);
+  nn::Vec x(n, 1.0), y;
+  for (auto _ : state) {
+    m.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_MatrixVectorMultiply)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_GroupedQInference(benchmark::State& state) {
+  common::Rng rng(1);
+  core::GroupedQOptions o;
+  o.encoder.num_servers = static_cast<std::size_t>(state.range(0));
+  o.encoder.num_groups = o.encoder.num_servers % 3 == 0 ? 3 : 2;
+  core::GroupedQNetwork net(o, rng);
+  nn::Vec s(o.encoder.full_state_dim());
+  for (auto& v : s) v = rng.uniform();
+  for (auto _ : state) {
+    auto q = net.q_values(s);
+    benchmark::DoNotOptimize(q.data());
+  }
+}
+BENCHMARK(BM_GroupedQInference)->Arg(30)->Arg(40)->Arg(60);
+
+void BM_LstmStep(benchmark::State& state) {
+  common::Rng rng(2);
+  auto params = std::make_shared<nn::LstmParams>(30, 1);  // paper's 30 hidden units
+  nn::init_lstm(*params, rng);
+  nn::Lstm lstm(params);
+  const nn::Vec x = {0.5};
+  for (auto _ : state) {
+    auto h = lstm.step(x);
+    benchmark::DoNotOptimize(h.data());
+    if (lstm.cached_steps() > 64) lstm.reset();
+  }
+}
+BENCHMARK(BM_LstmStep);
+
+void BM_SmdpUpdate(benchmark::State& state) {
+  rl::TabularQAgent::Options o;
+  rl::TabularQAgent agent(7, 5, o);
+  std::size_t s = 0;
+  for (auto _ : state) {
+    agent.update(s, s % 5, -1.0, 10.0, (s + 1) % 7);
+    s = (s + 1) % 7;
+  }
+}
+BENCHMARK(BM_SmdpUpdate);
+
+void BM_SmdpTargetMath(benchmark::State& state) {
+  double acc = 0.0;
+  double tau = 0.1;
+  for (auto _ : state) {
+    acc += rl::smdp_target(-1.5, tau, 0.05, acc * 1e-9);
+    tau += 1e-7;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_SmdpTargetMath);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  // End-to-end event processing rate of the cluster engine under the
+  // round-robin baseline (no learning overhead).
+  workload::GeneratorOptions g;
+  g.num_jobs = 5000;
+  g.horizon_s = 5000.0 * 6.4;
+  const auto jobs = workload::GoogleTraceGenerator(g).generate();
+  std::int64_t total_events = 0;
+  for (auto _ : state) {
+    sim::RoundRobinAllocator alloc;
+    sim::AlwaysOnPolicy power;
+    sim::ClusterConfig cfg;
+    cfg.num_servers = 30;
+    cfg.keep_job_records = false;
+    sim::Cluster cluster(cfg, alloc, power);
+    cluster.load_jobs(jobs);
+    while (cluster.step()) ++total_events;
+  }
+  state.SetItemsProcessed(total_events);
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_StateEncoding(benchmark::State& state) {
+  core::StateEncoderOptions o;
+  o.num_servers = 30;
+  o.num_groups = 3;
+  core::StateEncoder enc(o);
+  sim::RoundRobinAllocator alloc;
+  sim::AlwaysOnPolicy power;
+  sim::ClusterConfig cfg;
+  cfg.num_servers = 30;
+  sim::Cluster cluster(cfg, alloc, power);
+  sim::Job job;
+  job.id = 1;
+  job.duration = 100.0;
+  job.demand = sim::ResourceVector{0.1, 0.1, 0.01};
+  for (auto _ : state) {
+    auto s = enc.full_state(cluster, job);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_StateEncoding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

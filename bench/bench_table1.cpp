@@ -1,0 +1,67 @@
+// Reproduces Table I: accumulated energy, accumulated latency and average
+// power at 95,000 jobs for M = 30 and M = 40, under round-robin, DRL-only
+// and the hierarchical framework.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* system;
+  double energy_kwh;
+  double latency_1e6s;
+  double power_w;
+};
+
+// Paper values (Table I) for reference printing.
+constexpr PaperRow kPaperM30[] = {
+    {"round-robin", 441.47, 85.20, 2627.79},
+    {"drl-only", 242.25, 109.73, 1441.96},
+    {"hierarchical", 203.21, 92.53, 1209.58},
+};
+constexpr PaperRow kPaperM40[] = {
+    {"round-robin", 561.13, 85.20, 3340.06},
+    {"drl-only", 273.41, 108.76, 1627.44},
+    {"hierarchical", 224.51, 94.26, 1336.37},
+};
+
+void run_for_machines(std::size_t machines, std::size_t jobs, const PaperRow* paper) {
+  std::printf("\n=== Table I, M = %zu, %zu jobs ===\n", machines, jobs);
+  std::printf("--- paper reports (at 95,000 jobs on the real Google trace) ---\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-22s %12.2f %16.2f %12.2f\n", paper[i].system, paper[i].energy_kwh,
+                paper[i].latency_1e6s, paper[i].power_w);
+  }
+  std::printf("--- this reproduction (synthetic Google-like trace) ---\n");
+  hcrl::bench::print_result_header();
+
+  const auto base = hcrl::bench::paper_config(machines, jobs);
+  const auto results = hcrl::core::run_comparison(
+      base, {hcrl::core::SystemKind::kRoundRobin, hcrl::core::SystemKind::kDrlOnly,
+             hcrl::core::SystemKind::kHierarchical});
+  for (const auto& r : results) hcrl::bench::print_result_row(r);
+
+  const double rr = results[0].final_snapshot.energy_joules;
+  const double drl = results[1].final_snapshot.energy_joules;
+  const double hier = results[2].final_snapshot.energy_joules;
+  std::printf("energy saving vs round-robin: drl-only %.1f%%, hierarchical %.1f%% "
+              "(paper: %.1f%%, %.1f%%)\n",
+              100.0 * (1.0 - drl / rr), 100.0 * (1.0 - hier / rr),
+              100.0 * (1.0 - paper[1].energy_kwh / paper[0].energy_kwh),
+              100.0 * (1.0 - paper[2].energy_kwh / paper[0].energy_kwh));
+  std::printf("hierarchical vs drl-only: energy %.1f%% lower, latency %.1f%% lower "
+              "(paper: 16.1%%, 16.7%%)\n",
+              100.0 * (1.0 - hier / drl),
+              100.0 * (1.0 - results[2].final_snapshot.accumulated_latency_s /
+                                 results[1].final_snapshot.accumulated_latency_s));
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t jobs = hcrl::bench::env_jobs(95000);
+  run_for_machines(30, jobs, kPaperM30);
+  run_for_machines(40, jobs, kPaperM40);
+  return 0;
+}

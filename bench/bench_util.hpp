@@ -1,0 +1,50 @@
+// Shared helpers for the reproduction benchmarks.
+//
+// Each bench binary regenerates one table or figure of the paper. Scale can
+// be overridden for quick runs:
+//   HCRL_BENCH_JOBS=5000 ./bench_table1     (default: the paper's 95,000)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/experiment.hpp"
+
+namespace hcrl::bench {
+
+inline std::size_t env_jobs(std::size_t fallback) {
+  if (const char* v = std::getenv("HCRL_BENCH_JOBS")) {
+    const long long n = std::atoll(v);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return fallback;
+}
+
+/// Paper-faithful base configuration: M servers, one-week-equivalent trace
+/// scaled to `jobs`, P(0%)=87 W, P(100%)=145 W, Ton=Toff=30 s.
+inline core::ExperimentConfig paper_config(std::size_t servers, std::size_t jobs) {
+  core::ExperimentConfig cfg;
+  cfg.num_servers = servers;
+  // K must divide M; the paper varies K in 2..4 (30 -> 3 groups, 40 -> 4).
+  cfg.num_groups = servers % 3 == 0 ? 3 : (servers % 4 == 0 ? 4 : 2);
+  cfg.trace.num_jobs = jobs;
+  cfg.trace.horizon_s = sim::kSecondsPerWeek * static_cast<double>(jobs) / 95000.0;
+  cfg.trace.seed = 2011;  // the Google trace month
+  cfg.pretrain_jobs = jobs / 4;
+  cfg.checkpoint_every_jobs = 0;
+  return cfg;
+}
+
+inline void print_result_row(const core::ExperimentResult& r) {
+  const auto& s = r.final_snapshot;
+  std::printf("%-22s %12.2f %16.2f %12.2f %10.1f\n", r.system.c_str(), s.energy_kwh(),
+              s.accumulated_latency_s / 1e6, s.average_power_watts, r.wall_seconds);
+}
+
+inline void print_result_header() {
+  std::printf("%-22s %12s %16s %12s %10s\n", "system", "energy(kWh)", "latency(1e6 s)",
+              "power(W)", "wall(s)");
+}
+
+}  // namespace hcrl::bench

@@ -1,0 +1,57 @@
+// Example: working with job traces.
+//
+// Generates a synthetic Google-like trace, validates its statistics, writes
+// it to CSV, reads it back, and prints distribution summaries. The same CSV
+// format accepts real traces (e.g. extracted from the Google cluster data),
+// which then drop into every experiment in this repository.
+//
+//   ./trace_tools [num_jobs] [output.csv]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/stats.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/trace_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hcrl;
+
+  std::size_t jobs = 20000;
+  if (argc > 1) jobs = static_cast<std::size_t>(std::stoull(argv[1]));
+  const std::string path = argc > 2 ? argv[2] : "/tmp/hcrl_trace.csv";
+
+  workload::GeneratorOptions opts;
+  opts.num_jobs = jobs;
+  opts.horizon_s = sim::kSecondsPerWeek * static_cast<double>(jobs) / 95000.0;
+  opts.seed = 2011;
+
+  std::printf("generating %zu jobs over %.1f hours...\n", jobs, opts.horizon_s / 3600.0);
+  workload::GoogleTraceGenerator gen(opts);
+  const auto trace = gen.generate();
+
+  const auto stats = workload::compute_stats(trace, opts.horizon_s);
+  std::printf("%s\n", stats.to_string().c_str());
+  std::printf("offered CPU load on a 30-machine cluster: %.1f%%\n\n",
+              100.0 * stats.cpu_load(30));
+
+  common::Histogram duration_hist(0.0, 7200.0, 12);
+  common::Histogram cpu_hist(0.0, 0.4, 10);
+  common::RunningStats gap_stats;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    duration_hist.add(trace[i].duration);
+    cpu_hist.add(trace[i].demand[0]);
+    if (i > 0) gap_stats.add(trace[i].arrival - trace[i - 1].arrival);
+  }
+  std::printf("job duration histogram (seconds):\n%s\n", duration_hist.to_string(40).c_str());
+  std::printf("cpu request histogram:\n%s\n", cpu_hist.to_string(40).c_str());
+  std::printf("inter-arrival: mean %.2f s, max %.1f s, p50 ~%.2f s\n\n", gap_stats.mean(),
+              gap_stats.max(), duration_hist.quantile(0.5));
+
+  workload::write_trace_file(path, trace);
+  std::printf("wrote %s\n", path.c_str());
+  const auto loaded = workload::read_trace_file(path);
+  std::printf("read back %zu jobs; round-trip %s\n", loaded.size(),
+              loaded.size() == trace.size() ? "OK" : "MISMATCH");
+  return 0;
+}

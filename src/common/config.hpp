@@ -1,0 +1,55 @@
+// Minimal typed key/value configuration.
+//
+// Experiments are described by flat `key = value` files (or programmatic
+// maps). Typed getters validate and convert; unknown keys are detectable so
+// configs stay in sync with the code.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hcrl::common {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from text of the form `key = value` per line; '#' starts a
+  /// comment; blank lines ignored. Later duplicates override earlier ones.
+  static Config from_string(const std::string& text);
+  static Config from_file(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+  /// Overload so string literals don't decay into the bool overload.
+  void set(const std::string& key, const char* value) { set(key, std::string(value)); }
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, bool value);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key) const;
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  bool get_bool(const std::string& key) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys present in the config but never read through a getter.
+  std::vector<std::string> unused_keys() const;
+  std::vector<std::string> keys() const;
+
+  std::string to_string() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace hcrl::common

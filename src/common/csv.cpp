@@ -1,0 +1,86 @@
+#include "src/common/csv.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hcrl::common {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_doubles(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    fields.push_back(os.str());
+  }
+  write_row(fields);
+}
+
+std::vector<std::string> CsvReader::parse_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // ignore
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) throw std::invalid_argument("CsvReader: unterminated quote");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+bool CsvReader::read_row(std::vector<std::string>& fields) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.empty() || line == "\r") continue;
+    fields = parse_line(line);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hcrl::common

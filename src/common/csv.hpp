@@ -1,0 +1,38 @@
+// Small CSV reader/writer sufficient for job traces and benchmark output.
+// Supports quoted fields with embedded commas/quotes; no embedded newlines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hcrl::common {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+  /// Convenience for numeric rows; formats with max_digits10 precision.
+  void write_row_doubles(const std::vector<double>& values);
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+};
+
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) : in_(in) {}
+
+  /// Reads the next row; returns false at EOF. Empty lines are skipped.
+  bool read_row(std::vector<std::string>& fields);
+
+  static std::vector<std::string> parse_line(const std::string& line);
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace hcrl::common

@@ -1,0 +1,110 @@
+#include "src/common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hcrl::common {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void TimeWeightedValue::set(double t, double value) {
+  if (!started_) {
+    started_ = true;
+    start_ = last_t_ = t;
+    value_ = value;
+    return;
+  }
+  if (t < last_t_) throw std::invalid_argument("TimeWeightedValue: time went backwards");
+  integral_ += value_ * (t - last_t_);
+  last_t_ = t;
+  value_ = value;
+}
+
+double TimeWeightedValue::integral(double t) const {
+  if (!started_) return 0.0;
+  if (t < last_t_) throw std::invalid_argument("TimeWeightedValue: query before last sample");
+  return integral_ + value_ * (t - last_t_);
+}
+
+double TimeWeightedValue::time_average(double t) const {
+  if (!started_ || t <= start_) return 0.0;
+  return integral(t) / (t - start_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) throw std::invalid_argument("Histogram: bad range/bins");
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const noexcept { return bin_lo(i) + width_; }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) throw std::invalid_argument("Histogram::quantile: empty");
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac = counts_[i] > 0 ? (target - cum) / static_cast<double>(counts_[i]) : 0.0;
+      return bin_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = counts_[i] * max_width / peak;
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") " << std::string(bar, '#') << " "
+       << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hcrl::common

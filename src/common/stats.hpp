@@ -1,0 +1,101 @@
+// Streaming statistics utilities used by the simulator and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hcrl::common {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance; 0 when fewer than 2 samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted accumulator for a piecewise-constant signal.
+///
+/// The core energy-accounting primitive: `set(t, v)` records that the signal
+/// takes value `v` from time `t` until the next call. `integral(t)` returns
+/// the exact integral of the signal from the first set() up to time t, and
+/// `time_average(t)` the integral divided by elapsed time.
+class TimeWeightedValue {
+ public:
+  /// Record that the signal value is `value` starting at time `t`.
+  /// Times must be non-decreasing.
+  void set(double t, double value);
+  /// Integral of the signal from the first set() through time `t`.
+  double integral(double t) const;
+  /// Time average over [start, t]; 0 before any sample.
+  double time_average(double t) const;
+  double current() const noexcept { return value_; }
+  double start_time() const noexcept { return start_; }
+  bool empty() const noexcept { return !started_; }
+
+ private:
+  bool started_ = false;
+  double start_ = 0.0;
+  double last_t_ = 0.0;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin. Used for trace validation and latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+  /// Approximate quantile (linear interpolation inside the bin).
+  double quantile(double q) const;
+  std::string to_string(std::size_t max_width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;
+};
+
+/// Exponential moving average with configurable smoothing factor.
+class Ema {
+ public:
+  explicit Ema(double alpha) : alpha_(alpha) {}
+  void add(double x) noexcept {
+    value_ = seeded_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    seeded_ = true;
+  }
+  double value() const noexcept { return value_; }
+  bool seeded() const noexcept { return seeded_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace hcrl::common

@@ -1,0 +1,88 @@
+#include "src/core/config_binding.hpp"
+
+#include <stdexcept>
+
+namespace hcrl::core {
+
+SystemKind system_kind_from_string(const std::string& name) {
+  if (name == "round-robin") return SystemKind::kRoundRobin;
+  if (name == "drl-only") return SystemKind::kDrlOnly;
+  if (name == "hierarchical") return SystemKind::kHierarchical;
+  if (name == "drl-fixed-timeout") return SystemKind::kDrlFixedTimeout;
+  if (name == "least-loaded") return SystemKind::kLeastLoaded;
+  if (name == "first-fit-packing") return SystemKind::kFirstFitPacking;
+  throw std::invalid_argument("unknown system kind '" + name + "'");
+}
+
+ExperimentConfig experiment_config_from(const common::Config& config) {
+  ExperimentConfig cfg;
+
+  cfg.system = system_kind_from_string(config.get_string("system", "hierarchical"));
+  cfg.num_servers = static_cast<std::size_t>(config.get_int("num_servers", 30));
+  cfg.num_groups = static_cast<std::size_t>(config.get_int("num_groups", 3));
+  cfg.fixed_timeout_s = config.get_double("fixed_timeout_s", cfg.fixed_timeout_s);
+  cfg.pretrain_jobs =
+      static_cast<std::size_t>(config.get_int("pretrain_jobs", static_cast<std::int64_t>(cfg.pretrain_jobs)));
+  cfg.learn_during_run = config.get_bool("learn_during_run", cfg.learn_during_run);
+  cfg.checkpoint_every_jobs = static_cast<std::size_t>(
+      config.get_int("checkpoint_every_jobs", static_cast<std::int64_t>(cfg.checkpoint_every_jobs)));
+
+  // Trace.
+  cfg.trace.num_jobs =
+      static_cast<std::size_t>(config.get_int("trace.num_jobs", static_cast<std::int64_t>(cfg.trace.num_jobs)));
+  cfg.trace.horizon_s = config.get_double(
+      "trace.horizon_s",
+      sim::kSecondsPerWeek * static_cast<double>(cfg.trace.num_jobs) / 95000.0);
+  cfg.trace.seed = static_cast<std::uint64_t>(config.get_int("trace.seed", 1));
+  cfg.trace.duration_log_mean = config.get_double("trace.duration_log_mean", cfg.trace.duration_log_mean);
+  cfg.trace.duration_log_sigma = config.get_double("trace.duration_log_sigma", cfg.trace.duration_log_sigma);
+  cfg.trace.cpu_exp_mean = config.get_double("trace.cpu_exp_mean", cfg.trace.cpu_exp_mean);
+  cfg.trace.diurnal_amplitude = config.get_double("trace.diurnal_amplitude", cfg.trace.diurnal_amplitude);
+  cfg.trace.burst_multiplier = config.get_double("trace.burst_multiplier", cfg.trace.burst_multiplier);
+
+  // Server / power model.
+  cfg.server.power.idle_watts = config.get_double("server.idle_watts", cfg.server.power.idle_watts);
+  cfg.server.power.peak_watts = config.get_double("server.peak_watts", cfg.server.power.peak_watts);
+  cfg.server.power.transition_watts =
+      config.get_double("server.transition_watts", cfg.server.power.transition_watts);
+  cfg.server.t_on = config.get_double("server.t_on", cfg.server.t_on);
+  cfg.server.t_off = config.get_double("server.t_off", cfg.server.t_off);
+  cfg.server.hotspot_threshold =
+      config.get_double("server.hotspot_threshold", cfg.server.hotspot_threshold);
+
+  // Global tier.
+  cfg.drl.beta = config.get_double("drl.beta", cfg.drl.beta);
+  cfg.drl.w_power = config.get_double("drl.w_power", cfg.drl.w_power);
+  cfg.drl.w_vms = config.get_double("drl.w_vms", cfg.drl.w_vms);
+  cfg.drl.w_reliability = config.get_double("drl.w_reliability", cfg.drl.w_reliability);
+  cfg.drl.w_chosen_queue = config.get_double("drl.w_chosen_queue", cfg.drl.w_chosen_queue);
+  cfg.drl.guide_mix = config.get_double("drl.guide_mix", cfg.drl.guide_mix);
+  cfg.drl.qnet.learning_rate = config.get_double("drl.learning_rate", cfg.drl.qnet.learning_rate);
+  cfg.drl.qnet.subq_hidden =
+      static_cast<std::size_t>(config.get_int("drl.subq_hidden", static_cast<std::int64_t>(cfg.drl.qnet.subq_hidden)));
+  cfg.drl.batch_size =
+      static_cast<std::size_t>(config.get_int("drl.batch_size", static_cast<std::int64_t>(cfg.drl.batch_size)));
+  cfg.drl.seed = static_cast<std::uint64_t>(config.get_int("drl.seed", 7));
+
+  // Local tier.
+  cfg.local.w = config.get_double("local.w", cfg.local.w);
+  cfg.local.predictor = config.get_string("local.predictor", cfg.local.predictor);
+  cfg.local.shared_table = config.get_bool("local.shared_table", cfg.local.shared_table);
+  cfg.local.agent.learning_rate =
+      config.get_double("local.learning_rate", cfg.local.agent.learning_rate);
+  cfg.local.agent.beta = config.get_double("local.beta", cfg.local.agent.beta);
+  cfg.local.seed = static_cast<std::uint64_t>(config.get_int("local.seed", 13));
+
+  const auto unused = config.unused_keys();
+  if (!unused.empty()) {
+    std::string msg = "experiment_config_from: unknown keys:";
+    for (const auto& k : unused) msg += " " + k;
+    throw std::invalid_argument(msg);
+  }
+
+  cfg.finalize();
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace hcrl::core

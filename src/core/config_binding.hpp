@@ -1,0 +1,30 @@
+// Bind flat key/value configs (common::Config) to ExperimentConfig.
+//
+// This is the declarative front door: every knob a bench or example sets
+// programmatically can be set from a `key = value` file, e.g.
+//
+//   system = hierarchical
+//   num_servers = 30
+//   num_groups = 3
+//   trace.num_jobs = 95000
+//   drl.w_vms = 0.01
+//   local.w = 0.5
+//
+// Unknown keys are reported as errors so config files never rot silently.
+#pragma once
+
+#include "src/common/config.hpp"
+#include "src/core/experiment.hpp"
+
+namespace hcrl::core {
+
+/// Parse the system name ("round-robin", "drl-only", "hierarchical",
+/// "drl-fixed-timeout", "least-loaded", "first-fit-packing").
+SystemKind system_kind_from_string(const std::string& name);
+
+/// Build an ExperimentConfig from a flat config. Starts from defaults,
+/// overrides any provided key, then finalizes. Throws std::invalid_argument
+/// on unknown keys or invalid values.
+ExperimentConfig experiment_config_from(const common::Config& config);
+
+}  // namespace hcrl::core

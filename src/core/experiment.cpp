@@ -1,0 +1,180 @@
+#include "src/core/experiment.hpp"
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+#include "src/common/log.hpp"
+
+namespace hcrl::core {
+
+std::string to_string(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kRoundRobin: return "round-robin";
+    case SystemKind::kDrlOnly: return "drl-only";
+    case SystemKind::kHierarchical: return "hierarchical";
+    case SystemKind::kDrlFixedTimeout: return "drl-fixed-timeout";
+    case SystemKind::kLeastLoaded: return "least-loaded";
+    case SystemKind::kFirstFitPacking: return "first-fit-packing";
+  }
+  return "?";
+}
+
+void ExperimentConfig::finalize() {
+  drl.qnet.encoder.num_servers = num_servers;
+  drl.qnet.encoder.num_groups = num_groups;
+  drl.qnet.encoder.num_resources = server.num_resources;
+  local.num_servers = num_servers;
+  local.power_scale_watts = server.power.peak_watts;
+  local.t_on_s = server.t_on;
+  local.t_off_s = server.t_off;
+  local.transition_watts = server.power.transition_watts;
+}
+
+void ExperimentConfig::validate() const {
+  if (num_servers == 0) throw std::invalid_argument("ExperimentConfig: num_servers == 0");
+  if (num_groups == 0 || num_servers % num_groups != 0) {
+    throw std::invalid_argument("ExperimentConfig: num_groups must divide num_servers");
+  }
+  trace.validate();
+  server.validate();
+  if (system == SystemKind::kDrlFixedTimeout && fixed_timeout_s < 0.0) {
+    throw std::invalid_argument("ExperimentConfig: negative fixed timeout");
+  }
+}
+
+namespace {
+
+struct PolicyBundle {
+  std::unique_ptr<sim::AllocationPolicy> allocation;
+  std::unique_ptr<sim::PowerPolicy> power;
+  DrlAllocator* drl = nullptr;          // non-owning view when present
+  RlPowerManager* local_rl = nullptr;   // non-owning view when present
+};
+
+PolicyBundle build_policies(const ExperimentConfig& cfg) {
+  PolicyBundle b;
+  switch (cfg.system) {
+    case SystemKind::kRoundRobin:
+      b.allocation = std::make_unique<sim::RoundRobinAllocator>();
+      b.power = std::make_unique<sim::AlwaysOnPolicy>();
+      break;
+    case SystemKind::kLeastLoaded:
+      b.allocation = std::make_unique<sim::LeastLoadedAllocator>();
+      b.power = std::make_unique<sim::ImmediateSleepPolicy>();
+      break;
+    case SystemKind::kFirstFitPacking:
+      b.allocation = std::make_unique<sim::FirstFitPackingAllocator>();
+      b.power = std::make_unique<sim::ImmediateSleepPolicy>();
+      break;
+    case SystemKind::kDrlOnly: {
+      auto drl = std::make_unique<DrlAllocator>(cfg.drl);
+      drl->set_guide(std::make_unique<sim::FirstFitPackingAllocator>());
+      b.drl = drl.get();
+      b.allocation = std::move(drl);
+      b.power = std::make_unique<sim::ImmediateSleepPolicy>();
+      break;
+    }
+    case SystemKind::kDrlFixedTimeout: {
+      auto drl = std::make_unique<DrlAllocator>(cfg.drl);
+      drl->set_guide(std::make_unique<sim::FirstFitPackingAllocator>());
+      b.drl = drl.get();
+      b.allocation = std::move(drl);
+      b.power = std::make_unique<sim::FixedTimeoutPolicy>(cfg.fixed_timeout_s);
+      break;
+    }
+    case SystemKind::kHierarchical: {
+      auto drl = std::make_unique<DrlAllocator>(cfg.drl);
+      drl->set_guide(std::make_unique<sim::FirstFitPackingAllocator>());
+      b.drl = drl.get();
+      b.allocation = std::move(drl);
+      auto local = std::make_unique<RlPowerManager>(cfg.local);
+      b.local_rl = local.get();
+      b.power = std::move(local);
+      break;
+    }
+  }
+  return b;
+}
+
+sim::ClusterConfig cluster_config(const ExperimentConfig& cfg) {
+  sim::ClusterConfig cc;
+  cc.num_servers = cfg.num_servers;
+  cc.server = cfg.server;
+  return cc;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  ExperimentConfig cfg = config;
+  cfg.finalize();
+  cfg.validate();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  workload::GoogleTraceGenerator generator(cfg.trace);
+  std::vector<sim::Job> jobs = generator.generate();
+  const workload::TraceStats stats = workload::compute_stats(jobs, cfg.trace.horizon_s);
+
+  PolicyBundle policies = build_policies(cfg);
+
+  // ---- offline construction phase (DRL systems only) -----------------------
+  if (policies.drl != nullptr && cfg.pretrain_jobs > 0) {
+    const std::size_t n = std::min(cfg.pretrain_jobs, jobs.size());
+    std::vector<sim::Job> prefix(jobs.begin(), jobs.begin() + static_cast<std::ptrdiff_t>(n));
+    sim::Cluster warmup(cluster_config(cfg), *policies.allocation, *policies.power);
+    warmup.load_jobs(std::move(prefix));
+    warmup.run();
+    policies.drl->end_episode();
+    common::log_info() << to_string(cfg.system) << ": pretrained on " << n << " jobs ("
+                       << policies.drl->train_steps() << " gradient steps)";
+  }
+
+  // ---- measured run ---------------------------------------------------------
+  if (policies.drl != nullptr) policies.drl->set_learning(cfg.learn_during_run);
+  if (policies.local_rl != nullptr) policies.local_rl->set_learning(cfg.learn_during_run);
+
+  sim::Cluster cluster(cluster_config(cfg), *policies.allocation, *policies.power);
+  cluster.load_jobs(std::move(jobs));
+
+  ExperimentResult result;
+  result.system = to_string(cfg.system);
+  std::size_t next_checkpoint =
+      cfg.checkpoint_every_jobs > 0 ? cfg.checkpoint_every_jobs : static_cast<std::size_t>(-1);
+  while (cluster.step()) {
+    if (cluster.metrics().jobs_completed() >= next_checkpoint) {
+      const auto snap = cluster.snapshot();
+      result.series.push_back(CheckpointRow{snap.jobs_completed, snap.now,
+                                            snap.accumulated_latency_s, snap.energy_kwh(),
+                                            snap.average_power_watts});
+      next_checkpoint += cfg.checkpoint_every_jobs;
+    }
+  }
+
+  result.final_snapshot = cluster.snapshot();
+  result.trace_stats = stats;
+  result.servers_on_at_end = cluster.servers_on();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return result;
+}
+
+std::vector<ExperimentResult> run_comparison(const ExperimentConfig& base,
+                                             const std::vector<SystemKind>& systems) {
+  std::vector<ExperimentResult> results;
+  results.reserve(systems.size());
+  for (SystemKind kind : systems) {
+    ExperimentConfig cfg = base;
+    cfg.system = kind;
+    results.push_back(run_experiment(cfg));
+    const auto& r = results.back();
+    common::log_info() << r.system << ": energy=" << r.final_snapshot.energy_kwh() << " kWh"
+                       << " latency=" << r.final_snapshot.accumulated_latency_s / 1e6 << "e6 s"
+                       << " power=" << r.final_snapshot.average_power_watts << " W"
+                       << " (wall " << r.wall_seconds << " s)";
+  }
+  return results;
+}
+
+}  // namespace hcrl::core

@@ -1,0 +1,90 @@
+// Experiment driver: builds the paper's systems and measures them.
+//
+// Systems (§VII-B):
+//   round-robin       — round-robin broker, servers never sleep (baseline);
+//   drl-only          — DRL global tier, "ad hoc" immediate sleep locally;
+//   hierarchical      — DRL global tier + RL/LSTM local tier (the paper's);
+//   drl-fixed-timeout — DRL global tier + fixed 30/60/90 s timeout (Fig. 10
+//                       baselines);
+//   least-loaded / first-fit-packing — extra non-learning references.
+//
+// DRL systems get an offline construction phase first (§IV: experience
+// accumulation + DNN pre-training): the driver replays a prefix of the
+// trace with learning enabled before the measured run, mirroring the
+// paper's use of separate cluster traces for pre-training.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/global_tier.hpp"
+#include "src/core/local_tier.hpp"
+#include "src/sim/cluster.hpp"
+#include "src/workload/generator.hpp"
+
+namespace hcrl::core {
+
+enum class SystemKind {
+  kRoundRobin,
+  kDrlOnly,
+  kHierarchical,
+  kDrlFixedTimeout,
+  kLeastLoaded,
+  kFirstFitPacking,
+};
+
+std::string to_string(SystemKind kind);
+
+struct ExperimentConfig {
+  SystemKind system = SystemKind::kHierarchical;
+  std::size_t num_servers = 30;
+  std::size_t num_groups = 3;  // K for the grouped Q-network
+  workload::GeneratorOptions trace;
+  sim::ServerConfig server;
+
+  double fixed_timeout_s = 60.0;  // for kDrlFixedTimeout
+
+  DrlAllocatorOptions drl;     // encoder dims are overwritten from the fields above
+  LocalPowerManagerOptions local;
+
+  /// Offline construction phase: replay this many jobs from the head of the
+  /// trace (with learning on) before the measured run; 0 disables.
+  std::size_t pretrain_jobs = 20000;
+  /// Keep learning enabled during the measured run (the paper's online
+  /// deep Q-learning phase); false freezes the policy after pretraining.
+  bool learn_during_run = true;
+
+  /// Record a metrics checkpoint every N completed jobs (0 disables).
+  std::size_t checkpoint_every_jobs = 5000;
+
+  void finalize();  // propagate sizes into drl/local sub-configs
+  void validate() const;
+};
+
+struct CheckpointRow {
+  std::size_t jobs_completed = 0;
+  double sim_time_s = 0.0;
+  double accumulated_latency_s = 0.0;
+  double energy_kwh = 0.0;
+  double average_power_w = 0.0;
+};
+
+struct ExperimentResult {
+  std::string system;
+  sim::MetricsSnapshot final_snapshot;
+  std::vector<CheckpointRow> series;
+  workload::TraceStats trace_stats;
+  double wall_seconds = 0.0;
+  std::size_t servers_on_at_end = 0;
+};
+
+/// Run one full experiment (trace generation + optional pretraining +
+/// measured simulation).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Run the same trace through several systems (shares the generated trace).
+std::vector<ExperimentResult> run_comparison(const ExperimentConfig& base,
+                                             const std::vector<SystemKind>& systems);
+
+}  // namespace hcrl::core

@@ -1,0 +1,242 @@
+#include "src/core/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/nn/init.hpp"
+#include "src/nn/loss.hpp"
+
+namespace hcrl::core {
+
+SlidingMeanPredictor::SlidingMeanPredictor(std::size_t window, double prior_s)
+    : window_(window), prior_(prior_s) {
+  if (window == 0) throw std::invalid_argument("SlidingMeanPredictor: window must be > 0");
+}
+
+void SlidingMeanPredictor::observe(double interarrival_s) {
+  values_.push_back(interarrival_s);
+  sum_ += interarrival_s;
+  if (values_.size() > window_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+}
+
+double SlidingMeanPredictor::predict() {
+  if (values_.empty()) return prior_;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+ArPredictor::ArPredictor(std::size_t order, double prior_s, std::size_t refit_interval,
+                         std::size_t history_capacity, double ridge)
+    : order_(order),
+      prior_(prior_s),
+      refit_interval_(refit_interval),
+      history_capacity_(history_capacity),
+      ridge_(ridge) {
+  if (order == 0) throw std::invalid_argument("ArPredictor: order must be > 0");
+  if (refit_interval == 0) throw std::invalid_argument("ArPredictor: refit_interval must be > 0");
+  if (history_capacity <= order + 1) {
+    throw std::invalid_argument("ArPredictor: history_capacity too small");
+  }
+  if (ridge < 0.0) throw std::invalid_argument("ArPredictor: negative ridge");
+}
+
+void ArPredictor::observe(double interarrival_s) {
+  if (interarrival_s < 0.0) throw std::invalid_argument("ArPredictor: negative inter-arrival");
+  history_.push_back(interarrival_s);
+  if (history_.size() > history_capacity_) history_.pop_front();
+  if (++since_refit_ >= refit_interval_ && history_.size() > 3 * order_) {
+    refit();
+    since_refit_ = 0;
+  }
+}
+
+void ArPredictor::refit() {
+  // Solve (X^T X + ridge I) w = X^T y with X rows [1, x_{t-1}..x_{t-p}] by
+  // Gaussian elimination; dimensions are tiny (p+1 <= ~9).
+  const std::size_t p = order_;
+  const std::size_t dim = p + 1;
+  std::vector<double> a(dim * dim, 0.0);
+  std::vector<double> b(dim, 0.0);
+  for (std::size_t t = p; t < history_.size(); ++t) {
+    std::vector<double> row(dim);
+    row[0] = 1.0;
+    for (std::size_t k = 0; k < p; ++k) row[k + 1] = history_[t - 1 - k];
+    const double y = history_[t];
+    for (std::size_t i = 0; i < dim; ++i) {
+      b[i] += row[i] * y;
+      for (std::size_t j = 0; j < dim; ++j) a[i * dim + j] += row[i] * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < dim; ++i) a[i * dim + i] += ridge_;
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<std::size_t> perm(dim);
+  for (std::size_t i = 0; i < dim; ++i) perm[i] = i;
+  for (std::size_t col = 0; col < dim; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < dim; ++r) {
+      if (std::abs(a[r * dim + col]) > std::abs(a[pivot * dim + col])) pivot = r;
+    }
+    if (std::abs(a[pivot * dim + col]) < 1e-12) return;  // singular: keep old fit
+    if (pivot != col) {
+      for (std::size_t j = 0; j < dim; ++j) std::swap(a[col * dim + j], a[pivot * dim + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < dim; ++r) {
+      const double f = a[r * dim + col] / a[col * dim + col];
+      for (std::size_t j = col; j < dim; ++j) a[r * dim + j] -= f * a[col * dim + j];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> w(dim);
+  for (std::size_t i = dim; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t j = i + 1; j < dim; ++j) acc -= a[i * dim + j] * w[j];
+    w[i] = acc / a[i * dim + i];
+  }
+  coef_ = std::move(w);
+  fitted_ = true;
+}
+
+double ArPredictor::predict() {
+  if (!fitted_ || history_.size() < order_) return history_.empty() ? prior_ : history_.back();
+  double y = coef_[0];
+  for (std::size_t k = 0; k < order_; ++k) {
+    y += coef_[k + 1] * history_[history_.size() - 1 - k];
+  }
+  return std::max(0.0, y);
+}
+
+void LstmPredictorOptions::validate() const {
+  if (lookback == 0 || hidden_units == 0 || input_hidden == 0) {
+    throw std::invalid_argument("LstmPredictor: zero-sized layer");
+  }
+  if (learning_rate <= 0.0) throw std::invalid_argument("LstmPredictor: bad learning rate");
+  if (norm_scale_s <= 0.0 || prior_s <= 0.0) {
+    throw std::invalid_argument("LstmPredictor: bad scale/prior");
+  }
+  if (history_capacity <= lookback + 1) {
+    throw std::invalid_argument("LstmPredictor: history_capacity too small");
+  }
+  if (train_interval == 0 || train_windows == 0) {
+    throw std::invalid_argument("LstmPredictor: train interval/windows must be > 0");
+  }
+}
+
+LstmPredictor::LstmPredictor(const LstmPredictorOptions& opts) : opts_(opts), rng_(opts.seed) {
+  opts_.validate();
+
+  // Paper §VI-A: input and output hidden layers initialized N(0, 1) with
+  // bias 0.1; the LSTM state starts at zero.
+  auto in_params = std::make_shared<nn::DenseParams>(opts_.input_hidden, 1);
+  nn::normal_init(in_params->W, rng_, 0.0, 1.0);
+  for (auto& b : in_params->b) b = 0.1;
+  input_layer_.add_shared_dense(in_params, nn::Activation::kIdentity);
+
+  auto lstm_params = std::make_shared<nn::LstmParams>(opts_.hidden_units, opts_.input_hidden);
+  nn::init_lstm(*lstm_params, rng_);
+  lstm_ = std::make_unique<nn::Lstm>(lstm_params);
+
+  auto out_params = std::make_shared<nn::DenseParams>(1, opts_.hidden_units);
+  nn::normal_init(out_params->W, rng_, 0.0, 1.0);
+  for (auto& b : out_params->b) b = 0.1;
+  output_layer_.add_shared_dense(out_params, nn::Activation::kIdentity);
+
+  all_params_ = {in_params, lstm_params, out_params};
+  optimizer_ = std::make_unique<nn::Adam>(all_params_,
+                                          nn::Adam::Options{.lr = opts_.learning_rate});
+}
+
+double LstmPredictor::normalize(double seconds) const {
+  return std::log1p(std::max(0.0, seconds)) / std::log1p(opts_.norm_scale_s);
+}
+
+double LstmPredictor::denormalize(double z) const {
+  return std::expm1(std::max(0.0, z) * std::log1p(opts_.norm_scale_s));
+}
+
+void LstmPredictor::observe(double interarrival_s) {
+  if (interarrival_s < 0.0) throw std::invalid_argument("LstmPredictor: negative inter-arrival");
+  history_.push_back(normalize(interarrival_s));
+  if (history_.size() > opts_.history_capacity) history_.pop_front();
+  ++total_observed_;
+  if (total_observed_ % opts_.train_interval == 0 && history_.size() > opts_.lookback + 1) {
+    train_round();
+  }
+}
+
+double LstmPredictor::forward_window(std::size_t begin, std::size_t len, bool keep_caches) {
+  lstm_->reset();
+  nn::Vec h;
+  for (std::size_t i = 0; i < len; ++i) {
+    nn::Vec x = input_layer_.forward({history_[begin + i]});
+    h = lstm_->step(x);
+  }
+  const nn::Vec y = output_layer_.forward(h);
+  if (!keep_caches) {
+    input_layer_.clear_cache();
+    output_layer_.clear_cache();
+    lstm_->reset();
+  }
+  return y[0];
+}
+
+double LstmPredictor::predict() {
+  if (history_.size() < opts_.lookback) return opts_.prior_s;
+  const std::size_t begin = history_.size() - opts_.lookback;
+  const double z = forward_window(begin, opts_.lookback, /*keep_caches=*/false);
+  return denormalize(z);
+}
+
+double LstmPredictor::train_window(std::size_t end) {
+  if (end >= history_.size() || end < opts_.lookback) {
+    throw std::invalid_argument("LstmPredictor::train_window: bad window end");
+  }
+  const std::size_t begin = end - opts_.lookback;
+  const double pred = forward_window(begin, opts_.lookback, /*keep_caches=*/true);
+  const double target = history_[end];
+
+  optimizer_->zero_grad();
+  nn::LossResult loss = nn::mse_loss({pred}, {target});
+  // Loss is attached to the last step's output only (next-value prediction);
+  // BPTT carries it back through every cached step.
+  nn::Vec dh = output_layer_.backward(loss.grad);
+  std::vector<nn::Vec> dh_list(opts_.lookback, nn::Vec(opts_.hidden_units, 0.0));
+  dh_list.back() = dh;
+  std::vector<nn::Vec> dx = lstm_->backward(dh_list);
+  for (std::size_t i = dx.size(); i-- > 0;) {
+    input_layer_.backward(dx[i]);  // LIFO: reverse order of the forwards
+  }
+  nn::clip_grad_norm(all_params_, opts_.grad_clip);
+  optimizer_->step();
+  return loss.value;
+}
+
+void LstmPredictor::train_round() {
+  double total = 0.0;
+  for (std::size_t w = 0; w < opts_.train_windows; ++w) {
+    const auto end = static_cast<std::size_t>(
+        rng_.uniform_int(static_cast<std::int64_t>(opts_.lookback),
+                         static_cast<std::int64_t>(history_.size()) - 1));
+    total += train_window(end);
+  }
+  last_loss_ = total / static_cast<double>(opts_.train_windows);
+}
+
+std::unique_ptr<WorkloadPredictor> make_predictor(const std::string& kind,
+                                                  const LstmPredictorOptions& lstm_opts) {
+  if (kind == "lstm") return std::make_unique<LstmPredictor>(lstm_opts);
+  if (kind == "last-value") return std::make_unique<LastValuePredictor>(lstm_opts.prior_s);
+  if (kind == "sliding-mean") {
+    return std::make_unique<SlidingMeanPredictor>(lstm_opts.lookback, lstm_opts.prior_s);
+  }
+  if (kind == "ar") {
+    return std::make_unique<ArPredictor>(/*order=*/4, lstm_opts.prior_s);
+  }
+  throw std::invalid_argument("make_predictor: unknown kind '" + kind + "'");
+}
+
+}  // namespace hcrl::core

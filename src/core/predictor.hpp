@@ -1,0 +1,152 @@
+// Workload predictors for the local tier (§VI-A).
+//
+// The predictor estimates the next job inter-arrival time at one server;
+// its (discretized) output is the state of the RL power manager. The paper
+// uses a three-layer LSTM network (input hidden layer, LSTM cell layer with
+// 30 hidden units over a 35-step look-back window, output hidden layer)
+// trained with Adam. LastValue and SlidingMean reproduce the linear-
+// combination predictors of prior work [30, 31] that the paper argues
+// against — they are the ablation baselines.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.hpp"
+#include "src/nn/lstm.hpp"
+#include "src/nn/network.hpp"
+#include "src/nn/optimizer.hpp"
+
+namespace hcrl::core {
+
+class WorkloadPredictor {
+ public:
+  virtual ~WorkloadPredictor() = default;
+
+  /// Feed one observed inter-arrival time (seconds, > 0).
+  virtual void observe(double interarrival_s) = 0;
+  /// Predicted next inter-arrival time (seconds). Implementations return a
+  /// configurable prior before enough observations accumulate.
+  virtual double predict() = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Predicts the next inter-arrival equals the last one observed.
+class LastValuePredictor final : public WorkloadPredictor {
+ public:
+  explicit LastValuePredictor(double prior_s = 600.0) : value_(prior_s) {}
+  void observe(double interarrival_s) override { value_ = interarrival_s; }
+  double predict() override { return value_; }
+  std::string name() const override { return "last-value"; }
+
+ private:
+  double value_;
+};
+
+/// Mean of the last `window` observations — the linear predictor whose
+/// weakness ("one very long inter-arrival time can ruin a set of subsequent
+/// predictions") motivates the LSTM.
+class SlidingMeanPredictor final : public WorkloadPredictor {
+ public:
+  explicit SlidingMeanPredictor(std::size_t window = 35, double prior_s = 600.0);
+  void observe(double interarrival_s) override;
+  double predict() override;
+  std::string name() const override { return "sliding-mean"; }
+
+ private:
+  std::size_t window_;
+  double prior_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+};
+
+/// Autoregressive AR(p) predictor fit by online least squares — the
+/// "linear combination of previous idle times (or request inter-arrival
+/// times)" model of the paper's references [30, 31], §VI-A. Coefficients
+/// are refit periodically on the recent history via the normal equations
+/// with ridge regularization.
+class ArPredictor final : public WorkloadPredictor {
+ public:
+  ArPredictor(std::size_t order = 4, double prior_s = 600.0, std::size_t refit_interval = 32,
+              std::size_t history_capacity = 1024, double ridge = 1e-3);
+
+  void observe(double interarrival_s) override;
+  double predict() override;
+  std::string name() const override { return "ar"; }
+
+  const std::vector<double>& coefficients() const noexcept { return coef_; }
+  bool fitted() const noexcept { return fitted_; }
+
+ private:
+  void refit();
+
+  std::size_t order_;
+  double prior_;
+  std::size_t refit_interval_;
+  std::size_t history_capacity_;
+  double ridge_;
+  std::deque<double> history_;
+  std::vector<double> coef_;  // [bias, w_1..w_p], newest lag first
+  bool fitted_ = false;
+  std::size_t since_refit_ = 0;
+};
+
+struct LstmPredictorOptions {
+  std::size_t lookback = 35;       // paper: past 35 inter-arrival times
+  std::size_t hidden_units = 30;   // paper: 30 hidden units
+  std::size_t input_hidden = 1;    // paper: LSTM cell input size 1
+  double learning_rate = 1e-3;     // Adam (paper reference [27])
+  double grad_clip = 10.0;
+  double norm_scale_s = 3600.0;    // inter-arrivals are log-normalized by this
+  double prior_s = 600.0;          // prediction before warm-up
+  std::size_t history_capacity = 4096;
+  std::size_t train_interval = 8;  // train after every N observations
+  std::size_t train_windows = 4;   // windows per training round
+  std::uint64_t seed = 11;
+
+  void validate() const;
+};
+
+class LstmPredictor final : public WorkloadPredictor {
+ public:
+  explicit LstmPredictor(const LstmPredictorOptions& opts);
+
+  void observe(double interarrival_s) override;
+  double predict() override;
+  std::string name() const override { return "lstm"; }
+
+  /// One supervised BPTT step on a window ending at history position `end`
+  /// (predicts history[end] from the `lookback` values before it).
+  /// Returns the squared error. Exposed for tests and offline pretraining.
+  double train_window(std::size_t end);
+
+  std::size_t observations() const noexcept { return total_observed_; }
+  double last_training_loss() const noexcept { return last_loss_; }
+  const LstmPredictorOptions& options() const noexcept { return opts_; }
+
+  // Normalization helpers (exposed for tests).
+  double normalize(double seconds) const;
+  double denormalize(double z) const;
+
+ private:
+  double forward_window(std::size_t begin, std::size_t len, bool keep_caches);
+  void train_round();
+
+  LstmPredictorOptions opts_;
+  common::Rng rng_;
+  nn::Network input_layer_;
+  std::unique_ptr<nn::Lstm> lstm_;
+  nn::Network output_layer_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  std::vector<nn::ParamBlockPtr> all_params_;
+  std::deque<double> history_;  // normalized values
+  std::size_t total_observed_ = 0;
+  double last_loss_ = -1.0;
+};
+
+/// Factory used by configs ("lstm", "last-value", "sliding-mean").
+std::unique_ptr<WorkloadPredictor> make_predictor(const std::string& kind,
+                                                  const LstmPredictorOptions& lstm_opts);
+
+}  // namespace hcrl::core

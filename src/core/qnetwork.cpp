@@ -1,0 +1,189 @@
+#include "src/core/qnetwork.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/nn/loss.hpp"
+#include "src/rl/smdp.hpp"
+
+namespace hcrl::core {
+
+void GroupedQOptions::validate() const {
+  encoder.validate();
+  if (autoencoder_dims.empty()) throw std::invalid_argument("GroupedQOptions: no AE dims");
+  if (subq_hidden == 0) throw std::invalid_argument("GroupedQOptions: subq_hidden == 0");
+  if (learning_rate <= 0.0 || autoencoder_learning_rate <= 0.0) {
+    throw std::invalid_argument("GroupedQOptions: learning rates must be > 0");
+  }
+  if (autoencoder_batch == 0 || autoencoder_train_interval == 0 || autoencoder_buffer == 0) {
+    throw std::invalid_argument("GroupedQOptions: autoencoder batch/interval/buffer must be > 0");
+  }
+}
+
+GroupedQNetwork::GroupedQNetwork(const GroupedQOptions& opts, common::Rng& rng) : opts_(opts) {
+  opts_.validate();
+  const auto& enc = opts_.encoder;
+
+  nn::Autoencoder::Options ae_opts;
+  ae_opts.encoder_dims = opts_.autoencoder_dims;
+  ae_opts.learning_rate = opts_.autoencoder_learning_rate;
+  ae_opts.grad_clip = opts_.grad_clip;
+  autoencoder_ = std::make_unique<nn::Autoencoder>(enc.group_state_dim(), ae_opts, rng);
+
+  head_input_dim_ = enc.group_state_dim() + enc.job_state_dim() +
+                    (enc.num_groups - 1) * autoencoder_->code_dim();
+
+  online_subq_ = std::make_unique<nn::Network>(build_subq(rng));
+  target_subq_ = std::make_unique<nn::Network>(build_subq(rng));
+  sync_target();
+  optimizer_ = std::make_unique<nn::Adam>(online_subq_->params(),
+                                          nn::Adam::Options{.lr = opts_.learning_rate});
+  ae_buffer_.reserve(opts_.autoencoder_buffer);
+}
+
+nn::Network GroupedQNetwork::build_subq(common::Rng& rng) const {
+  // One fully-connected hidden layer of ELUs and a linear output with one
+  // unit per server in the group (§VII-A).
+  nn::Network net;
+  net.add_dense(head_input_dim_, opts_.subq_hidden, nn::Activation::kElu, rng);
+  net.add_dense(opts_.subq_hidden, opts_.encoder.group_size(), nn::Activation::kIdentity, rng);
+  return net;
+}
+
+nn::Vec GroupedQNetwork::slice_group(const nn::Vec& full_state, std::size_t group) const {
+  const auto& enc = opts_.encoder;
+  if (group >= enc.num_groups) throw std::out_of_range("slice_group: bad group");
+  if (full_state.size() != enc.full_state_dim()) {
+    throw std::invalid_argument("slice_group: bad state size");
+  }
+  const std::size_t g = enc.group_state_dim();
+  return nn::Vec(full_state.begin() + static_cast<std::ptrdiff_t>(group * g),
+                 full_state.begin() + static_cast<std::ptrdiff_t>((group + 1) * g));
+}
+
+nn::Vec GroupedQNetwork::slice_job(const nn::Vec& full_state) const {
+  const auto& enc = opts_.encoder;
+  if (full_state.size() != enc.full_state_dim()) {
+    throw std::invalid_argument("slice_job: bad state size");
+  }
+  return nn::Vec(full_state.end() - static_cast<std::ptrdiff_t>(enc.job_state_dim()),
+                 full_state.end());
+}
+
+nn::Vec GroupedQNetwork::head_input(const nn::Vec& full_state, std::size_t group,
+                                    const std::vector<nn::Vec>& codes) const {
+  nn::Vec input;
+  input.reserve(head_input_dim_);
+  nn::Vec g = slice_group(full_state, group);
+  input.insert(input.end(), g.begin(), g.end());
+  nn::Vec j = slice_job(full_state);
+  input.insert(input.end(), j.begin(), j.end());
+  for (std::size_t k = 0; k < codes.size(); ++k) {
+    if (k == group) continue;
+    input.insert(input.end(), codes[k].begin(), codes[k].end());
+  }
+  return input;
+}
+
+nn::Vec GroupedQNetwork::q_values_with(nn::Network& subq, const nn::Vec& full_state) {
+  const auto& enc = opts_.encoder;
+  std::vector<nn::Vec> codes(enc.num_groups);
+  for (std::size_t k = 0; k < enc.num_groups; ++k) {
+    codes[k] = autoencoder_->encode(slice_group(full_state, k));
+  }
+  nn::Vec q;
+  q.reserve(num_actions());
+  for (std::size_t k = 0; k < enc.num_groups; ++k) {
+    nn::Vec head_q = subq.predict(head_input(full_state, k, codes));
+    q.insert(q.end(), head_q.begin(), head_q.end());
+  }
+  return q;
+}
+
+nn::Vec GroupedQNetwork::q_values(const nn::Vec& full_state) {
+  return q_values_with(*online_subq_, full_state);
+}
+
+nn::Vec GroupedQNetwork::q_values_target(const nn::Vec& full_state) {
+  return q_values_with(*target_subq_, full_state);
+}
+
+double GroupedQNetwork::train_batch(const std::vector<const rl::Transition*>& batch,
+                                    double beta) {
+  if (batch.empty()) throw std::invalid_argument("GroupedQNetwork::train_batch: empty batch");
+  const auto& enc = opts_.encoder;
+  optimizer_->zero_grad();
+  double total_loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(batch.size());
+
+  for (const rl::Transition* t : batch) {
+    nn::Vec next_q = q_values_target(t->next_state);
+    double best_next;
+    if (opts_.double_q) {
+      best_next = next_q[nn::argmax(q_values(t->next_state))];
+    } else {
+      best_next = next_q[nn::argmax(next_q)];
+    }
+    const double target = rl::smdp_target(t->reward_rate, t->tau, beta, best_next);
+
+    // Only the head owning the chosen action receives gradient; weight
+    // sharing means this still trains the one physical Sub-Q network.
+    const std::size_t group = t->action / enc.group_size();
+    const std::size_t local = t->action % enc.group_size();
+
+    std::vector<nn::Vec> codes(enc.num_groups);
+    for (std::size_t k = 0; k < enc.num_groups; ++k) {
+      if (k == group) continue;
+      codes[k] = autoencoder_->encode(slice_group(t->state, k));
+    }
+    nn::Vec pred = online_subq_->forward(head_input(t->state, group, codes));
+    nn::LossResult loss = nn::masked_huber_loss(pred, local, target, /*delta=*/1.0);
+    total_loss += loss.value;
+    nn::scale_in_place(loss.grad, inv_n);
+    online_subq_->backward(loss.grad);
+  }
+  nn::clip_grad_norm(online_subq_->params(), opts_.grad_clip);
+  optimizer_->step();
+  return total_loss * inv_n;
+}
+
+std::vector<nn::ParamBlockPtr> GroupedQNetwork::trainable_params() const {
+  auto out = online_subq_->params();
+  auto ae = autoencoder_->params();
+  out.insert(out.end(), ae.begin(), ae.end());
+  return out;
+}
+
+void GroupedQNetwork::sync_target() {
+  nn::copy_param_values(online_subq_->params(), target_subq_->params());
+}
+
+double GroupedQNetwork::observe_state(const nn::Vec& full_state, common::Rng& rng) {
+  const auto& enc = opts_.encoder;
+  for (std::size_t k = 0; k < enc.num_groups; ++k) {
+    nn::Vec g = slice_group(full_state, k);
+    if (ae_buffer_.size() < opts_.autoencoder_buffer) {
+      ae_buffer_.push_back(std::move(g));
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ae_buffer_.size()) - 1));
+      ae_buffer_[idx] = std::move(g);  // reservoir-style replacement
+    }
+  }
+  ++ae_seen_;
+  if (ae_seen_ % opts_.autoencoder_train_interval != 0 ||
+      ae_buffer_.size() < opts_.autoencoder_batch) {
+    return -1.0;
+  }
+  std::vector<nn::Vec> batch;
+  batch.reserve(opts_.autoencoder_batch);
+  for (std::size_t i = 0; i < opts_.autoencoder_batch; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ae_buffer_.size()) - 1));
+    batch.push_back(ae_buffer_[idx]);
+  }
+  last_ae_loss_ = autoencoder_->train_batch(batch);
+  return last_ae_loss_;
+}
+
+}  // namespace hcrl::core

@@ -1,0 +1,101 @@
+// The global tier's Q-value network (Fig. 6 of the paper).
+//
+// For K server groups, Q-values are produced by K logical Sub-Q heads and K
+// logical autoencoders, with weights shared across all heads and across all
+// autoencoders. Head k consumes:
+//   [ g_k (raw group state), s_j (job state), code(g_k') for all k' != k ]
+// and outputs one Q-value per server in group k. Weight sharing means any
+// training sample trains *the* Sub-Q head and *the* autoencoder, which is
+// exactly the scalability argument of §V-A — so this class owns a single
+// Sub-Q network and a single autoencoder and applies them K times.
+//
+// The autoencoder is trained self-supervised on observed group states
+// (reconstruction loss); its codes are treated as fixed features by the
+// Q-regression (stop-gradient), which keeps the representation stable while
+// Q-targets move. A separately-parameterized target copy of the Sub-Q head
+// provides the bootstrap targets.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/core/state.hpp"
+#include "src/nn/autoencoder.hpp"
+#include "src/nn/network.hpp"
+#include "src/nn/optimizer.hpp"
+#include "src/rl/replay.hpp"
+
+namespace hcrl::core {
+
+struct GroupedQOptions {
+  StateEncoderOptions encoder;
+  std::vector<std::size_t> autoencoder_dims = {30, 15};  // paper: 30 and 15 ELUs
+  std::size_t subq_hidden = 128;                         // paper: 128 ELUs
+  double learning_rate = 1e-3;
+  double grad_clip = 10.0;  // paper clips gradient norms to 10
+  double autoencoder_learning_rate = 1e-3;
+  std::size_t autoencoder_batch = 32;
+  std::size_t autoencoder_train_interval = 64;  // one AE batch per N observed states
+  std::size_t autoencoder_buffer = 4096;
+  /// Double Q-learning for the bootstrap target (see rl::DqnAgent::Options).
+  bool double_q = false;
+
+  void validate() const;
+};
+
+class GroupedQNetwork {
+ public:
+  GroupedQNetwork(const GroupedQOptions& opts, common::Rng& rng);
+
+  std::size_t num_actions() const noexcept { return opts_.encoder.num_servers; }
+  std::size_t state_dim() const noexcept { return opts_.encoder.full_state_dim(); }
+  /// Input dimension of one Sub-Q head.
+  std::size_t head_input_dim() const noexcept { return head_input_dim_; }
+
+  /// Q-values for all |M| actions (online parameters).
+  nn::Vec q_values(const nn::Vec& full_state);
+  /// Q-values using the target parameters (for bootstrap targets).
+  nn::Vec q_values_target(const nn::Vec& full_state);
+
+  /// One SGD step on a minibatch of SMDP transitions; returns mean loss.
+  double train_batch(const std::vector<const rl::Transition*>& batch, double beta);
+
+  /// Copy online Sub-Q parameters into the target copy.
+  void sync_target();
+
+  /// Feed one observed state into the autoencoder's training buffer;
+  /// trains a reconstruction batch every `autoencoder_train_interval` calls.
+  /// Returns the reconstruction loss when a batch ran, negative otherwise.
+  double observe_state(const nn::Vec& full_state, common::Rng& rng);
+
+  nn::Autoencoder& autoencoder() noexcept { return *autoencoder_; }
+  std::size_t subq_param_count() const { return online_subq_->param_count(); }
+  /// All learned parameters (online Sub-Q + autoencoder), for persistence.
+  std::vector<nn::ParamBlockPtr> trainable_params() const;
+  double last_autoencoder_loss() const noexcept { return last_ae_loss_; }
+
+  // -- state slicing helpers (public for tests) ------------------------------
+  nn::Vec slice_group(const nn::Vec& full_state, std::size_t group) const;
+  nn::Vec slice_job(const nn::Vec& full_state) const;
+
+ private:
+  nn::Network build_subq(common::Rng& rng) const;
+  /// Q-values with an explicit Sub-Q network (shared by online/target paths).
+  nn::Vec q_values_with(nn::Network& subq, const nn::Vec& full_state);
+  /// Input of head `group`: [g_k, s_j, codes of other groups].
+  nn::Vec head_input(const nn::Vec& full_state, std::size_t group,
+                     const std::vector<nn::Vec>& codes) const;
+
+  GroupedQOptions opts_;
+  std::size_t head_input_dim_ = 0;
+  std::unique_ptr<nn::Autoencoder> autoencoder_;
+  std::unique_ptr<nn::Network> online_subq_;
+  std::unique_ptr<nn::Network> target_subq_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  std::vector<nn::Vec> ae_buffer_;
+  std::size_t ae_seen_ = 0;
+  double last_ae_loss_ = -1.0;
+};
+
+}  // namespace hcrl::core

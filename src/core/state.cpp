@@ -1,0 +1,82 @@
+#include "src/core/state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hcrl::core {
+
+void StateEncoderOptions::validate() const {
+  if (num_servers == 0 || num_groups == 0) {
+    throw std::invalid_argument("StateEncoder: empty cluster or groups");
+  }
+  if (num_servers % num_groups != 0) {
+    throw std::invalid_argument("StateEncoder: num_groups must divide num_servers");
+  }
+  if (num_resources == 0) throw std::invalid_argument("StateEncoder: need >= 1 resource");
+  if (max_queue_feature <= 0.0 || duration_scale <= 0.0) {
+    throw std::invalid_argument("StateEncoder: bad scaling constants");
+  }
+}
+
+StateEncoder::StateEncoder(const StateEncoderOptions& opts) : opts_(opts) { opts_.validate(); }
+
+void StateEncoder::encode_server(const sim::Server& server, nn::Vec& out) const {
+  for (std::size_t d = 0; d < opts_.num_resources; ++d) out.push_back(server.utilization(d));
+  double availability = 0.0;
+  switch (server.power_state()) {
+    case sim::PowerState::kActive:
+    case sim::PowerState::kIdle:
+      availability = 1.0;
+      break;
+    case sim::PowerState::kWaking:
+    case sim::PowerState::kFallingAsleep:
+      availability = 0.5;
+      break;
+    case sim::PowerState::kSleep:
+      availability = 0.0;
+      break;
+  }
+  out.push_back(availability);
+  // Log-scaled so the feature keeps discriminating between moderately and
+  // severely backlogged servers instead of saturating.
+  out.push_back(std::log1p(static_cast<double>(server.queue_length())) /
+                std::log1p(opts_.max_queue_feature));
+}
+
+nn::Vec StateEncoder::group_state(const sim::Cluster& cluster, std::size_t group) const {
+  if (group >= opts_.num_groups) throw std::out_of_range("StateEncoder: bad group");
+  if (cluster.num_servers() != opts_.num_servers) {
+    throw std::invalid_argument("StateEncoder: cluster size mismatch");
+  }
+  nn::Vec out;
+  out.reserve(opts_.group_state_dim());
+  const std::size_t base = group * opts_.group_size();
+  for (std::size_t i = 0; i < opts_.group_size(); ++i) {
+    encode_server(cluster.server(base + i), out);
+  }
+  return out;
+}
+
+nn::Vec StateEncoder::job_state(const sim::Job& job) const {
+  nn::Vec out;
+  out.reserve(opts_.job_state_dim());
+  for (std::size_t d = 0; d < opts_.num_resources; ++d) out.push_back(job.demand[d]);
+  // Log-scaled duration in [0, ~1]: log(1+d)/log(1+scale).
+  out.push_back(std::log1p(std::max(0.0, job.duration)) / std::log1p(opts_.duration_scale));
+  return out;
+}
+
+nn::Vec StateEncoder::full_state(const sim::Cluster& cluster, const sim::Job& job) const {
+  nn::Vec out;
+  out.reserve(opts_.full_state_dim());
+  for (std::size_t k = 0; k < opts_.num_groups; ++k) {
+    nn::Vec g = group_state(cluster, k);
+    out.insert(out.end(), g.begin(), g.end());
+  }
+  nn::Vec j = job_state(job);
+  out.insert(out.end(), j.begin(), j.end());
+  return out;
+}
+
+}  // namespace hcrl::core

@@ -1,0 +1,69 @@
+#include "src/core/tradeoff.hpp"
+
+#include <stdexcept>
+
+#include "src/common/log.hpp"
+
+namespace hcrl::core {
+
+namespace {
+
+TradeoffPoint to_point(const ExperimentResult& r, const std::string& system, double sweep) {
+  TradeoffPoint p;
+  p.system = system;
+  p.sweep_value = sweep;
+  const auto& s = r.final_snapshot;
+  const double n = static_cast<double>(std::max<std::size_t>(1, s.jobs_completed));
+  p.avg_latency_s = s.accumulated_latency_s / n;
+  p.avg_energy_wh = s.energy_joules / 3600.0 / n;
+  p.energy_kwh = s.energy_kwh();
+  p.accumulated_latency_s = s.accumulated_latency_s;
+  return p;
+}
+
+}  // namespace
+
+TradeoffResult explore_tradeoff(const TradeoffOptions& options) {
+  if (options.local_weights.empty()) {
+    throw std::invalid_argument("explore_tradeoff: no local weights");
+  }
+  TradeoffResult result;
+
+  for (double w : options.local_weights) {
+    ExperimentConfig cfg = options.base;
+    cfg.system = SystemKind::kHierarchical;
+    cfg.local.w = w;
+    const ExperimentResult r = run_experiment(cfg);
+    result.hierarchical.push_back(to_point(r, "hierarchical", w));
+    common::log_info() << "tradeoff hierarchical w=" << w
+                       << " latency/job=" << result.hierarchical.back().avg_latency_s
+                       << "s energy/job=" << result.hierarchical.back().avg_energy_wh << "Wh";
+  }
+
+  for (double timeout : options.fixed_timeouts) {
+    std::vector<TradeoffPoint> curve;
+    for (double w_vms : options.global_vm_weights) {
+      ExperimentConfig cfg = options.base;
+      cfg.system = SystemKind::kDrlFixedTimeout;
+      cfg.fixed_timeout_s = timeout;
+      cfg.drl.w_vms = w_vms;
+      const ExperimentResult r = run_experiment(cfg);
+      const std::string label = "fixed-timeout-" + std::to_string(static_cast<int>(timeout));
+      curve.push_back(to_point(r, label, w_vms));
+      common::log_info() << "tradeoff " << label << " w_vms=" << w_vms
+                         << " latency/job=" << curve.back().avg_latency_s
+                         << "s energy/job=" << curve.back().avg_energy_wh << "Wh";
+    }
+    result.fixed_timeout_curves.push_back(std::move(curve));
+  }
+  return result;
+}
+
+double tradeoff_area(const std::vector<TradeoffPoint>& curve) {
+  if (curve.empty()) throw std::invalid_argument("tradeoff_area: empty curve");
+  double total = 0.0;
+  for (const auto& p : curve) total += p.avg_latency_s * p.avg_energy_wh;
+  return total / static_cast<double>(curve.size());
+}
+
+}  // namespace hcrl::core

@@ -1,0 +1,80 @@
+#include "src/nn/autoencoder.hpp"
+
+#include <stdexcept>
+
+#include "src/nn/loss.hpp"
+
+namespace hcrl::nn {
+
+Autoencoder::Autoencoder(std::size_t input_dim, const Options& opts, common::Rng& rng)
+    : input_dim_(input_dim), grad_clip_(opts.grad_clip) {
+  if (input_dim == 0) throw std::invalid_argument("Autoencoder: input_dim must be > 0");
+  if (opts.encoder_dims.empty()) {
+    throw std::invalid_argument("Autoencoder: need at least one encoder layer");
+  }
+  std::size_t prev = input_dim;
+  for (std::size_t dim : opts.encoder_dims) {
+    encoder_.add_dense(prev, dim, opts.activation, rng);
+    prev = dim;
+  }
+  code_dim_ = prev;
+  for (std::size_t i = opts.encoder_dims.size(); i-- > 1;) {
+    decoder_.add_dense(prev, opts.encoder_dims[i - 1], opts.activation, rng);
+    prev = opts.encoder_dims[i - 1];
+  }
+  // Linear output layer: utilizations are reconstructed unconstrained and
+  // the MSE pulls them into range; a linear head trains faster than a
+  // saturating one on near-zero targets.
+  decoder_.add_dense(prev, input_dim, Activation::kIdentity, rng);
+
+  auto all = params();
+  optimizer_ = std::make_unique<Adam>(all, Adam::Options{.lr = opts.learning_rate});
+}
+
+Vec Autoencoder::encode(const Vec& x) { return encoder_.predict(x); }
+
+Vec Autoencoder::encode_training(const Vec& x) { return encoder_.forward(x); }
+
+Vec Autoencoder::backward_through_encoder(const Vec& dcode) { return encoder_.backward(dcode); }
+
+Vec Autoencoder::reconstruct(const Vec& x) {
+  Vec code = encoder_.predict(x);
+  return decoder_.predict(code);
+}
+
+double Autoencoder::train_batch(const std::vector<Vec>& batch) {
+  if (batch.empty()) throw std::invalid_argument("Autoencoder::train_batch: empty batch");
+  optimizer_->zero_grad();
+  double total = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(batch.size());
+  for (const Vec& x : batch) {
+    if (x.size() != input_dim_) {
+      throw std::invalid_argument("Autoencoder::train_batch: bad sample dimension");
+    }
+    Vec code = encoder_.forward(x);
+    Vec recon = decoder_.forward(code);
+    LossResult loss = mse_loss(recon, x);
+    total += loss.value;
+    scale_in_place(loss.grad, inv_n);
+    Vec dcode = decoder_.backward(loss.grad);
+    encoder_.backward(dcode);
+  }
+  clip_grad_norm(params(), grad_clip_);
+  optimizer_->step();
+  return total * inv_n;
+}
+
+std::vector<ParamBlockPtr> Autoencoder::params() const {
+  auto out = encoder_.params();
+  auto dec = decoder_.params();
+  out.insert(out.end(), dec.begin(), dec.end());
+  return out;
+}
+
+std::size_t Autoencoder::param_count() const {
+  std::size_t n = 0;
+  for (const auto& p : params()) n += p->param_count();
+  return n;
+}
+
+}  // namespace hcrl::nn

@@ -1,0 +1,60 @@
+// Autoencoder used by the global tier to compress server-group states.
+//
+// The paper (§V-A, Fig. 6) uses a two-layer fully-connected ELU encoder with
+// 30 and 15 neurons; the decoder mirrors it. One Autoencoder instance can be
+// applied to all K groups because the K logical autoencoders share weights —
+// the LIFO layer caches make repeated forward() calls differentiable.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/nn/network.hpp"
+#include "src/nn/optimizer.hpp"
+
+namespace hcrl::nn {
+
+class Autoencoder {
+ public:
+  struct Options {
+    std::vector<std::size_t> encoder_dims = {30, 15};  // per the paper
+    Activation activation = Activation::kElu;
+    double learning_rate = 1e-3;
+    double grad_clip = 10.0;
+  };
+
+  Autoencoder(std::size_t input_dim, const Options& opts, common::Rng& rng);
+
+  std::size_t input_dim() const noexcept { return input_dim_; }
+  std::size_t code_dim() const noexcept { return code_dim_; }
+
+  /// Encode without caching (inference).
+  Vec encode(const Vec& x);
+  /// Encode, keeping caches so that a later backward_through_encoder() can
+  /// propagate downstream gradients into the encoder weights.
+  Vec encode_training(const Vec& x);
+  /// Back-propagate dL/dcode from a downstream consumer through the encoder
+  /// (one pending encode_training per call, reverse order).
+  Vec backward_through_encoder(const Vec& dcode);
+
+  /// Full reconstruction (inference).
+  Vec reconstruct(const Vec& x);
+
+  /// One self-supervised training step on a batch; returns mean MSE.
+  double train_batch(const std::vector<Vec>& batch);
+
+  Network& encoder() noexcept { return encoder_; }
+  Network& decoder() noexcept { return decoder_; }
+  std::vector<ParamBlockPtr> params() const;
+  std::size_t param_count() const;
+
+ private:
+  std::size_t input_dim_;
+  std::size_t code_dim_;
+  Network encoder_;
+  Network decoder_;
+  std::unique_ptr<Adam> optimizer_;
+  double grad_clip_;
+};
+
+}  // namespace hcrl::nn

@@ -1,0 +1,36 @@
+#include "src/nn/init.hpp"
+
+#include <cmath>
+
+namespace hcrl::nn {
+
+void xavier_uniform(Matrix& w, common::Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(w.rows() + w.cols()));
+  for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = rng.uniform(-limit, limit);
+}
+
+void he_normal(Matrix& w, common::Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(w.cols()));
+  for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = rng.normal(0.0, stddev);
+}
+
+void normal_init(Matrix& w, common::Rng& rng, double mean, double stddev) {
+  for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = rng.normal(mean, stddev);
+}
+
+void init_dense(DenseParams& p, common::Rng& rng, double bias) {
+  he_normal(p.W, rng);
+  for (auto& b : p.b) b = bias;
+}
+
+void init_lstm(LstmParams& p, common::Rng& rng) {
+  xavier_uniform(p.Wx, rng);
+  xavier_uniform(p.Wh, rng);
+  // Forget-gate bias of 1.0 is the standard trick to let gradients flow
+  // early in training; other gates start unbiased.
+  const std::size_t h = p.hidden_dim();
+  for (std::size_t i = 0; i < p.b.size(); ++i) p.b[i] = 0.0;
+  for (std::size_t i = h; i < 2 * h; ++i) p.b[i] = 1.0;
+}
+
+}  // namespace hcrl::nn

@@ -1,0 +1,25 @@
+// Weight initializers.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/nn/param.hpp"
+
+namespace hcrl::nn {
+
+/// Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6 / (fan_in+fan_out)).
+void xavier_uniform(Matrix& w, common::Rng& rng);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)). Suited to ELU/ReLU layers.
+void he_normal(Matrix& w, common::Rng& rng);
+
+/// N(mean, stddev) on every entry — the paper initializes the LSTM
+/// input/output layers as N(0, 1) with bias 0.1.
+void normal_init(Matrix& w, common::Rng& rng, double mean, double stddev);
+
+/// Initialize a dense layer (He weights, zero bias by default).
+void init_dense(DenseParams& p, common::Rng& rng, double bias = 0.0);
+
+/// Initialize an LSTM block (Xavier weights, forget-gate bias = 1).
+void init_lstm(LstmParams& p, common::Rng& rng);
+
+}  // namespace hcrl::nn

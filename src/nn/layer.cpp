@@ -1,0 +1,79 @@
+#include "src/nn/layer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hcrl::nn {
+
+Dense::Dense(DenseParamsPtr params) : params_(std::move(params)) {
+  if (!params_) throw std::invalid_argument("Dense: null params");
+}
+
+Vec Dense::forward(const Vec& x) {
+  assert(x.size() == params_->in_dim());
+  Vec y;
+  params_->W.multiply(x, y);
+  add_in_place(y, params_->b);
+  inputs_.push_back(x);
+  return y;
+}
+
+Vec Dense::backward(const Vec& dy) {
+  if (inputs_.empty()) throw std::logic_error("Dense::backward without forward");
+  assert(dy.size() == params_->out_dim());
+  const Vec x = std::move(inputs_.back());
+  inputs_.pop_back();
+  params_->gW.add_outer(dy, x);
+  add_in_place(params_->gb, dy);
+  Vec dx;
+  params_->W.multiply_transposed(dy, dx);
+  return dx;
+}
+
+void Dense::collect_params(std::vector<ParamBlockPtr>& out) const { out.push_back(params_); }
+
+double activate(Activation kind, double x) noexcept {
+  switch (kind) {
+    case Activation::kIdentity: return x;
+    case Activation::kRelu: return x > 0.0 ? x : 0.0;
+    case Activation::kElu: return x > 0.0 ? x : std::expm1(x);
+    case Activation::kTanh: return std::tanh(x);
+    case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-x));
+  }
+  return x;
+}
+
+double activate_grad_from_output(Activation kind, double y) noexcept {
+  switch (kind) {
+    case Activation::kIdentity: return 1.0;
+    case Activation::kRelu: return y > 0.0 ? 1.0 : 0.0;
+    // ELU (alpha=1): y = e^x - 1 for x<=0, so dy/dx = e^x = y + 1; y>0 -> 1.
+    case Activation::kElu: return y > 0.0 ? 1.0 : y + 1.0;
+    case Activation::kTanh: return 1.0 - y * y;
+    case Activation::kSigmoid: return y * (1.0 - y);
+  }
+  return 1.0;
+}
+
+Vec ActivationLayer::forward(const Vec& x) {
+  assert(x.size() == dim_);
+  Vec y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = activate(kind_, x[i]);
+  outputs_.push_back(y);
+  return y;
+}
+
+Vec ActivationLayer::backward(const Vec& dy) {
+  if (outputs_.empty()) throw std::logic_error("ActivationLayer::backward without forward");
+  const Vec y = std::move(outputs_.back());
+  outputs_.pop_back();
+  assert(dy.size() == y.size());
+  Vec dx(dy.size());
+  for (std::size_t i = 0; i < dy.size(); ++i) {
+    dx[i] = dy[i] * activate_grad_from_output(kind_, y[i]);
+  }
+  return dx;
+}
+
+}  // namespace hcrl::nn

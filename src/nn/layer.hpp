@@ -1,0 +1,88 @@
+// Layers with explicit forward/backward and LIFO activation caches.
+//
+// A layer may be applied several times within one computation (this happens
+// whenever parameters are shared, e.g. the K autoencoders of the global
+// tier). Each forward() pushes its cache; each backward() pops. Backward
+// passes must therefore run in exactly reverse order of the forward calls,
+// which is the natural order of reverse-mode differentiation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/param.hpp"
+
+namespace hcrl::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::size_t in_dim() const = 0;
+  virtual std::size_t out_dim() const = 0;
+
+  /// Compute output; caches whatever backward() needs (LIFO).
+  virtual Vec forward(const Vec& x) = 0;
+  /// Given dL/dy, accumulate parameter gradients and return dL/dx.
+  /// Must be called once per pending forward(), in reverse order.
+  virtual Vec backward(const Vec& dy) = 0;
+
+  /// Drop any pending caches (e.g. after inference-only forwards).
+  virtual void clear_cache() = 0;
+  /// Parameter blocks of this layer (empty for activations).
+  virtual void collect_params(std::vector<ParamBlockPtr>& out) const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Fully-connected layer y = W x + b over a (possibly shared) DenseParams.
+class Dense final : public Layer {
+ public:
+  explicit Dense(DenseParamsPtr params);
+
+  std::size_t in_dim() const override { return params_->in_dim(); }
+  std::size_t out_dim() const override { return params_->out_dim(); }
+
+  Vec forward(const Vec& x) override;
+  Vec backward(const Vec& dy) override;
+  void clear_cache() override { inputs_.clear(); }
+  void collect_params(std::vector<ParamBlockPtr>& out) const override;
+
+  const DenseParamsPtr& params() const noexcept { return params_; }
+
+ private:
+  DenseParamsPtr params_;
+  std::vector<Vec> inputs_;
+};
+
+enum class Activation { kIdentity, kRelu, kElu, kTanh, kSigmoid };
+
+/// Elementwise activation layer.
+class ActivationLayer final : public Layer {
+ public:
+  ActivationLayer(Activation kind, std::size_t dim) : kind_(kind), dim_(dim) {}
+
+  std::size_t in_dim() const override { return dim_; }
+  std::size_t out_dim() const override { return dim_; }
+
+  Vec forward(const Vec& x) override;
+  Vec backward(const Vec& dy) override;
+  void clear_cache() override { outputs_.clear(); }
+  void collect_params(std::vector<ParamBlockPtr>&) const override {}
+
+  Activation kind() const noexcept { return kind_; }
+
+ private:
+  Activation kind_;
+  std::size_t dim_;
+  // We cache *outputs*: for all supported activations the derivative is
+  // expressible from the output alone, halving cache traffic.
+  std::vector<Vec> outputs_;
+};
+
+// Scalar activation helpers (exposed for tests and the LSTM).
+double activate(Activation kind, double x) noexcept;
+/// Derivative d(activation)/dx expressed in terms of the *output* y.
+double activate_grad_from_output(Activation kind, double y) noexcept;
+
+}  // namespace hcrl::nn

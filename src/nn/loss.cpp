@@ -1,0 +1,69 @@
+#include "src/nn/loss.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hcrl::nn {
+
+LossResult mse_loss(const Vec& pred, const Vec& target) {
+  assert(pred.size() == target.size());
+  if (pred.empty()) throw std::invalid_argument("mse_loss: empty");
+  LossResult out;
+  out.grad.resize(pred.size());
+  const double inv_n = 1.0 / static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    out.value += d * d * inv_n;
+    out.grad[i] = 2.0 * d * inv_n;
+  }
+  return out;
+}
+
+LossResult huber_loss(const Vec& pred, const Vec& target, double delta) {
+  assert(pred.size() == target.size());
+  if (pred.empty()) throw std::invalid_argument("huber_loss: empty");
+  if (delta <= 0.0) throw std::invalid_argument("huber_loss: delta must be > 0");
+  LossResult out;
+  out.grad.resize(pred.size());
+  const double inv_n = 1.0 / static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    if (std::abs(d) <= delta) {
+      out.value += 0.5 * d * d * inv_n;
+      out.grad[i] = d * inv_n;
+    } else {
+      out.value += delta * (std::abs(d) - 0.5 * delta) * inv_n;
+      out.grad[i] = (d > 0.0 ? delta : -delta) * inv_n;
+    }
+  }
+  return out;
+}
+
+LossResult masked_mse_loss(const Vec& pred, std::size_t index, double target) {
+  if (index >= pred.size()) throw std::invalid_argument("masked_mse_loss: index out of range");
+  LossResult out;
+  out.grad.assign(pred.size(), 0.0);
+  const double d = pred[index] - target;
+  out.value = d * d;
+  out.grad[index] = 2.0 * d;
+  return out;
+}
+
+LossResult masked_huber_loss(const Vec& pred, std::size_t index, double target, double delta) {
+  if (index >= pred.size()) throw std::invalid_argument("masked_huber_loss: index out of range");
+  if (delta <= 0.0) throw std::invalid_argument("masked_huber_loss: delta must be > 0");
+  LossResult out;
+  out.grad.assign(pred.size(), 0.0);
+  const double d = pred[index] - target;
+  if (std::abs(d) <= delta) {
+    out.value = 0.5 * d * d;
+    out.grad[index] = d;
+  } else {
+    out.value = delta * (std::abs(d) - 0.5 * delta);
+    out.grad[index] = d > 0.0 ? delta : -delta;
+  }
+  return out;
+}
+
+}  // namespace hcrl::nn

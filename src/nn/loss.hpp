@@ -1,0 +1,29 @@
+// Losses: value + gradient with respect to the prediction.
+#pragma once
+
+#include "src/nn/matrix.hpp"
+
+namespace hcrl::nn {
+
+struct LossResult {
+  double value = 0.0;
+  Vec grad;  // dL/dpred
+};
+
+/// Mean squared error: L = (1/n) * sum (pred - target)^2.
+LossResult mse_loss(const Vec& pred, const Vec& target);
+
+/// Huber loss with threshold delta (mean over components). Robust choice for
+/// Q-value regression (used by the DQN trainer).
+LossResult huber_loss(const Vec& pred, const Vec& target, double delta = 1.0);
+
+/// MSE on a single output component, leaving other gradients zero.
+/// Used when only the Q-value of the taken action receives a target.
+LossResult masked_mse_loss(const Vec& pred, std::size_t index, double target);
+
+/// Huber loss on a single output component (gradient magnitude capped at
+/// delta) — the robust choice for Q-regression with bootstrapped targets.
+LossResult masked_huber_loss(const Vec& pred, std::size_t index, double target,
+                             double delta = 1.0);
+
+}  // namespace hcrl::nn

@@ -1,0 +1,110 @@
+#include "src/nn/lstm.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hcrl::nn {
+
+namespace {
+inline double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+Lstm::Lstm(LstmParamsPtr params) : params_(std::move(params)) {
+  if (!params_) throw std::invalid_argument("Lstm: null params");
+  reset();
+}
+
+void Lstm::reset() {
+  h_.assign(hidden_dim(), 0.0);
+  c_.assign(hidden_dim(), 0.0);
+  cache_.clear();
+}
+
+Vec Lstm::step(const Vec& x) {
+  assert(x.size() == in_dim());
+  const std::size_t H = hidden_dim();
+
+  Vec z, zh;
+  params_->Wx.multiply(x, z);
+  params_->Wh.multiply(h_, zh);
+  add_in_place(z, zh);
+  add_in_place(z, params_->b);
+
+  StepCache sc;
+  sc.x = x;
+  sc.h_prev = h_;
+  sc.c_prev = c_;
+  sc.i.resize(H);
+  sc.f.resize(H);
+  sc.g.resize(H);
+  sc.o.resize(H);
+  sc.c.resize(H);
+  sc.tanh_c.resize(H);
+
+  for (std::size_t j = 0; j < H; ++j) {
+    sc.i[j] = sigmoid(z[j]);
+    sc.f[j] = sigmoid(z[H + j]);
+    sc.g[j] = std::tanh(z[2 * H + j]);
+    sc.o[j] = sigmoid(z[3 * H + j]);
+    sc.c[j] = sc.f[j] * sc.c_prev[j] + sc.i[j] * sc.g[j];
+    sc.tanh_c[j] = std::tanh(sc.c[j]);
+    h_[j] = sc.o[j] * sc.tanh_c[j];
+  }
+  c_ = sc.c;
+  cache_.push_back(std::move(sc));
+  return h_;
+}
+
+std::vector<Vec> Lstm::forward(const std::vector<Vec>& xs) {
+  reset();
+  std::vector<Vec> hs;
+  hs.reserve(xs.size());
+  for (const auto& x : xs) hs.push_back(step(x));
+  return hs;
+}
+
+std::vector<Vec> Lstm::backward(const std::vector<Vec>& dh) {
+  if (dh.size() != cache_.size()) {
+    throw std::invalid_argument("Lstm::backward: dh size != cached steps");
+  }
+  const std::size_t H = hidden_dim();
+  const std::size_t T = cache_.size();
+  std::vector<Vec> dx(T);
+
+  Vec dh_next(H, 0.0);  // dL/dh_t flowing from step t+1
+  Vec dc_next(H, 0.0);  // dL/dc_t flowing from step t+1
+  Vec dz(4 * H);
+
+  for (std::size_t tt = T; tt-- > 0;) {
+    const StepCache& sc = cache_[tt];
+    Vec dht = dh[tt];
+    add_in_place(dht, dh_next);
+
+    for (std::size_t j = 0; j < H; ++j) {
+      // h = o * tanh(c)
+      const double do_ = dht[j] * sc.tanh_c[j];
+      double dc = dht[j] * sc.o[j] * (1.0 - sc.tanh_c[j] * sc.tanh_c[j]) + dc_next[j];
+      const double di = dc * sc.g[j];
+      const double df = dc * sc.c_prev[j];
+      const double dg = dc * sc.i[j];
+      // gate pre-activations
+      dz[j] = di * sc.i[j] * (1.0 - sc.i[j]);
+      dz[H + j] = df * sc.f[j] * (1.0 - sc.f[j]);
+      dz[2 * H + j] = dg * (1.0 - sc.g[j] * sc.g[j]);
+      dz[3 * H + j] = do_ * sc.o[j] * (1.0 - sc.o[j]);
+      dc_next[j] = dc * sc.f[j];
+    }
+
+    params_->gWx.add_outer(dz, sc.x);
+    params_->gWh.add_outer(dz, sc.h_prev);
+    add_in_place(params_->gb, dz);
+
+    params_->Wx.multiply_transposed(dz, dx[tt]);
+    params_->Wh.multiply_transposed(dz, dh_next);
+  }
+  cache_.clear();
+  return dx;
+}
+
+}  // namespace hcrl::nn

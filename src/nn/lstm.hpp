@@ -1,0 +1,56 @@
+// LSTM layer with truncated back-propagation through time (BPTT).
+//
+// Standard (Hochreiter & Schmidhuber) cell with gates packed [i, f, g, o]:
+//   z   = Wx x_t + Wh h_{t-1} + b
+//   i,f,o = sigmoid(z_i), sigmoid(z_f), sigmoid(z_o);  g = tanh(z_g)
+//   c_t = f * c_{t-1} + i * g
+//   h_t = o * tanh(c_t)
+// The paper's workload predictor uses one such layer with 30 hidden units
+// over a 35-step look-back window of job inter-arrival times (§VI-A).
+#pragma once
+
+#include <vector>
+
+#include "src/nn/param.hpp"
+
+namespace hcrl::nn {
+
+class Lstm {
+ public:
+  explicit Lstm(LstmParamsPtr params);
+
+  std::size_t hidden_dim() const noexcept { return params_->hidden_dim(); }
+  std::size_t in_dim() const noexcept { return params_->in_dim(); }
+  const LstmParamsPtr& params() const noexcept { return params_; }
+
+  /// Clear hidden/cell state and all cached steps.
+  void reset();
+
+  /// One forward step; returns h_t and caches intermediates for backward.
+  Vec step(const Vec& x);
+
+  /// Reset, then run the whole sequence; returns h_t for every step.
+  std::vector<Vec> forward(const std::vector<Vec>& xs);
+
+  /// BPTT over all cached steps. `dh` holds dL/dh_t for each cached step
+  /// (use zero vectors for steps without direct loss). Accumulates
+  /// parameter gradients and returns dL/dx_t per step. Clears the cache.
+  std::vector<Vec> backward(const std::vector<Vec>& dh);
+
+  const Vec& hidden() const noexcept { return h_; }
+  const Vec& cell() const noexcept { return c_; }
+  std::size_t cached_steps() const noexcept { return cache_.size(); }
+
+ private:
+  struct StepCache {
+    Vec x, h_prev, c_prev;
+    Vec i, f, g, o;     // gate activations
+    Vec c, tanh_c;      // new cell state and tanh(c)
+  };
+
+  LstmParamsPtr params_;
+  Vec h_, c_;
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace hcrl::nn

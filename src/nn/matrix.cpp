@@ -1,0 +1,107 @@
+#include "src/nn/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hcrl::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::fill(double v) noexcept {
+  for (auto& d : data_) d = v;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols, double fill_value) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill_value);
+}
+
+void Matrix::multiply(const Vec& x, Vec& y) const {
+  assert(x.size() == cols_);
+  y.assign(rows_, 0.0);
+  const double* w = data_.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = w + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void Matrix::multiply_transposed(const Vec& x, Vec& y) const {
+  assert(x.size() == rows_);
+  y.assign(cols_, 0.0);
+  const double* w = data_.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* row = w + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+}
+
+void Matrix::add_outer(const Vec& a, const Vec& b) {
+  assert(a.size() == rows_ && b.size() == cols_);
+  double* w = data_.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double ar = a[r];
+    if (ar == 0.0) continue;
+    double* row = w + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) row[c] += ar * b[c];
+  }
+}
+
+std::string Matrix::shape_string() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_;
+  return os.str();
+}
+
+Vec add(const Vec& x, const Vec& y) {
+  assert(x.size() == y.size());
+  Vec z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] + y[i];
+  return z;
+}
+
+void add_in_place(Vec& x, const Vec& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += y[i];
+}
+
+void scale_in_place(Vec& x, double s) {
+  for (auto& v : x) v *= s;
+}
+
+double dot(const Vec& x, const Vec& y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm(const Vec& x) { return std::sqrt(dot(x, x)); }
+
+Vec concat(const std::vector<const Vec*>& parts) {
+  std::size_t total = 0;
+  for (const Vec* p : parts) total += p->size();
+  Vec out;
+  out.reserve(total);
+  for (const Vec* p : parts) out.insert(out.end(), p->begin(), p->end());
+  return out;
+}
+
+std::size_t argmax(const Vec& x) {
+  if (x.empty()) throw std::invalid_argument("argmax: empty vector");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace hcrl::nn

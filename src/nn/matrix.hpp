@@ -1,0 +1,70 @@
+// Dense row-major matrix and vector helpers for the NN substrate.
+//
+// The networks in this project are tiny (tens to a few hundred units), so a
+// straightforward double-precision matrix with cache-friendly loops is both
+// simple and fast enough; there is intentionally no BLAS dependency.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hcrl::nn {
+
+using Vec = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+  void fill(double v) noexcept;
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// y = this * x  (rows x cols) * (cols) -> (rows)
+  void multiply(const Vec& x, Vec& y) const;
+  /// y = this^T * x  (cols) <- (rows)
+  void multiply_transposed(const Vec& x, Vec& y) const;
+  /// this += outer(a, b): this(r,c) += a[r] * b[c]
+  void add_outer(const Vec& a, const Vec& b);
+
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  std::string shape_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// --- small Vec helpers used throughout the nn/ and core/ code -------------
+
+/// z = x + y (sizes must match).
+Vec add(const Vec& x, const Vec& y);
+/// x += y
+void add_in_place(Vec& x, const Vec& y);
+/// x *= s
+void scale_in_place(Vec& x, double s);
+/// Dot product.
+double dot(const Vec& x, const Vec& y);
+/// Euclidean norm.
+double norm(const Vec& x);
+/// Concatenate a list of vectors.
+Vec concat(const std::vector<const Vec*>& parts);
+/// Index of the maximum element (first on ties); requires non-empty.
+std::size_t argmax(const Vec& x);
+
+}  // namespace hcrl::nn

@@ -1,0 +1,86 @@
+#include "src/nn/network.hpp"
+
+#include <stdexcept>
+
+#include "src/nn/init.hpp"
+
+namespace hcrl::nn {
+
+Network& Network::add(LayerPtr layer) {
+  if (!layer) throw std::invalid_argument("Network::add: null layer");
+  if (!layers_.empty() && layers_.back()->out_dim() != layer->in_dim()) {
+    throw std::invalid_argument("Network::add: dimension mismatch");
+  }
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Network& Network::add_dense(std::size_t in_dim, std::size_t out_dim, Activation act,
+                            common::Rng& rng) {
+  auto params = std::make_shared<DenseParams>(out_dim, in_dim);
+  init_dense(*params, rng);
+  return add_shared_dense(std::move(params), act);
+}
+
+Network& Network::add_shared_dense(DenseParamsPtr params, Activation act) {
+  const std::size_t out = params->out_dim();
+  add(std::make_unique<Dense>(std::move(params)));
+  if (act != Activation::kIdentity) {
+    add(std::make_unique<ActivationLayer>(act, out));
+  }
+  return *this;
+}
+
+std::size_t Network::in_dim() const {
+  if (layers_.empty()) throw std::logic_error("Network: empty");
+  return layers_.front()->in_dim();
+}
+
+std::size_t Network::out_dim() const {
+  if (layers_.empty()) throw std::logic_error("Network: empty");
+  return layers_.back()->out_dim();
+}
+
+Vec Network::forward(const Vec& x) {
+  Vec h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Vec Network::backward(const Vec& dy) {
+  Vec g = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+Vec Network::predict(const Vec& x) {
+  Vec y = forward(x);
+  // The caches from this forward are unwanted; drop only what we pushed by
+  // popping via clear on each layer would also drop caches from pending
+  // training forwards, so Network::predict must not be interleaved inside an
+  // un-backpropagated training pass.
+  clear_cache();
+  return y;
+}
+
+void Network::clear_cache() {
+  for (auto& layer : layers_) layer->clear_cache();
+}
+
+void Network::zero_grad() {
+  for (const auto& p : params()) p->zero_grad();
+}
+
+std::vector<ParamBlockPtr> Network::params() const {
+  std::vector<ParamBlockPtr> out;
+  for (const auto& layer : layers_) layer->collect_params(out);
+  return out;
+}
+
+std::size_t Network::param_count() const {
+  std::size_t n = 0;
+  for (const auto& p : params()) n += p->param_count();
+  return n;
+}
+
+}  // namespace hcrl::nn

@@ -1,0 +1,43 @@
+// Sequential feed-forward network built from layers.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/nn/layer.hpp"
+
+namespace hcrl::nn {
+
+class Network {
+ public:
+  Network() = default;
+
+  /// Append a layer; dimensions must chain (checked).
+  Network& add(LayerPtr layer);
+  /// Convenience: append a freshly-initialized dense layer + activation.
+  Network& add_dense(std::size_t in_dim, std::size_t out_dim, Activation act, common::Rng& rng);
+  /// Append a dense layer over an existing (shared) parameter block.
+  Network& add_shared_dense(DenseParamsPtr params, Activation act);
+
+  std::size_t in_dim() const;
+  std::size_t out_dim() const;
+  bool empty() const noexcept { return layers_.empty(); }
+
+  Vec forward(const Vec& x);
+  /// Backward through the whole stack; returns dL/dx.
+  Vec backward(const Vec& dy);
+  /// Forward without keeping caches (inference only).
+  Vec predict(const Vec& x);
+
+  void clear_cache();
+  void zero_grad();
+  std::vector<ParamBlockPtr> params() const;
+  std::size_t param_count() const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace hcrl::nn

@@ -1,0 +1,86 @@
+#include "src/nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hcrl::nn {
+
+double clip_grad_norm(const std::vector<ParamBlockPtr>& params, double max_norm) {
+  if (max_norm <= 0.0) throw std::invalid_argument("clip_grad_norm: max_norm must be > 0");
+  auto segs = gather_segments(params);
+  double sq = 0.0;
+  for (const auto& s : segs) {
+    for (std::size_t i = 0; i < s.n; ++i) sq += s.grad[i] * s.grad[i];
+  }
+  const double total = std::sqrt(sq);
+  if (total > max_norm) {
+    const double scale = max_norm / total;
+    for (auto& s : segs) {
+      for (std::size_t i = 0; i < s.n; ++i) s.grad[i] *= scale;
+    }
+  }
+  return total;
+}
+
+Sgd::Sgd(std::vector<ParamBlockPtr> params, double lr, double momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  segments_ = gather_segments(params_);
+  velocity_.reserve(segments_.size());
+  for (const auto& s : segments_) velocity_.emplace_back(s.n, 0.0);
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < segments_.size(); ++k) {
+    auto& s = segments_[k];
+    auto& vel = velocity_[k];
+    for (std::size_t i = 0; i < s.n; ++i) {
+      vel[i] = momentum_ * vel[i] + s.grad[i];
+      s.value[i] -= lr_ * vel[i];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (const auto& p : params_) p->zero_grad();
+}
+
+Adam::Adam(std::vector<ParamBlockPtr> params) : Adam(std::move(params), Options{}) {}
+
+Adam::Adam(std::vector<ParamBlockPtr> params, Options opts)
+    : params_(std::move(params)), opts_(opts) {
+  if (opts_.lr <= 0.0) throw std::invalid_argument("Adam: lr must be > 0");
+  segments_ = gather_segments(params_);
+  m_.reserve(segments_.size());
+  v_.reserve(segments_.size());
+  for (const auto& s : segments_) {
+    m_.emplace_back(s.n, 0.0);
+    v_.emplace_back(s.n, 0.0);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(opts_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(opts_.beta2, static_cast<double>(t_));
+  for (std::size_t k = 0; k < segments_.size(); ++k) {
+    auto& s = segments_[k];
+    auto& m = m_[k];
+    auto& v = v_[k];
+    for (std::size_t i = 0; i < s.n; ++i) {
+      const double g = s.grad[i];
+      m[i] = opts_.beta1 * m[i] + (1.0 - opts_.beta1) * g;
+      v[i] = opts_.beta2 * v[i] + (1.0 - opts_.beta2) * g * g;
+      const double m_hat = m[i] / bc1;
+      const double v_hat = v[i] / bc2;
+      double update = opts_.lr * m_hat / (std::sqrt(v_hat) + opts_.epsilon);
+      if (opts_.weight_decay > 0.0) update += opts_.lr * opts_.weight_decay * s.value[i];
+      s.value[i] -= update;
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (const auto& p : params_) p->zero_grad();
+}
+
+}  // namespace hcrl::nn

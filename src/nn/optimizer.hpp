@@ -1,0 +1,74 @@
+// Optimizers over parameter blocks, plus global-norm gradient clipping.
+//
+// The paper trains the global-tier DNN and the LSTM predictor with Adam
+// (Kingma & Ba) and clips gradients to a global norm of 10.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/param.hpp"
+
+namespace hcrl::nn {
+
+/// Scale all gradients so their global L2 norm is at most max_norm.
+/// Returns the pre-clip norm.
+double clip_grad_norm(const std::vector<ParamBlockPtr>& params, double max_norm);
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update using the currently-accumulated gradients,
+  /// then leave gradients untouched (caller decides when to zero).
+  virtual void step() = 0;
+  virtual void zero_grad() = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<ParamBlockPtr> params, double lr, double momentum = 0.0);
+
+  void step() override;
+  void zero_grad() override;
+  void set_lr(double lr) noexcept { lr_ = lr; }
+  double lr() const noexcept { return lr_; }
+
+ private:
+  std::vector<ParamBlockPtr> params_;
+  double lr_;
+  double momentum_;
+  std::vector<std::vector<double>> velocity_;  // one per segment
+  std::vector<ParamSegment> segments_;
+};
+
+/// Adam with bias correction; epsilon in the denominator as in the paper's
+/// reference [27] (Kingma & Ba 2014).
+class Adam final : public Optimizer {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;  // decoupled (AdamW-style) when > 0
+  };
+
+  explicit Adam(std::vector<ParamBlockPtr> params);
+  Adam(std::vector<ParamBlockPtr> params, Options opts);
+
+  void step() override;
+  void zero_grad() override;
+  void set_lr(double lr) noexcept { opts_.lr = lr; }
+  double lr() const noexcept { return opts_.lr; }
+  std::int64_t steps_taken() const noexcept { return t_; }
+
+ private:
+  std::vector<ParamBlockPtr> params_;
+  Options opts_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<double>> m_;  // first moment, one per segment
+  std::vector<std::vector<double>> v_;  // second moment
+  std::vector<ParamSegment> segments_;
+};
+
+}  // namespace hcrl::nn

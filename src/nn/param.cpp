@@ -1,0 +1,33 @@
+#include "src/nn/param.hpp"
+
+#include <stdexcept>
+
+namespace hcrl::nn {
+
+std::vector<ParamSegment> gather_segments(const std::vector<ParamBlockPtr>& params) {
+  std::vector<ParamSegment> segs;
+  for (const auto& p : params) {
+    if (!p) throw std::invalid_argument("gather_segments: null param block");
+    p->append_segments(segs);
+  }
+  return segs;
+}
+
+void copy_param_values(const std::vector<ParamBlockPtr>& src,
+                       const std::vector<ParamBlockPtr>& dst) {
+  auto s = gather_segments(src);
+  auto d = gather_segments(dst);
+  if (s.size() != d.size()) throw std::invalid_argument("copy_param_values: segment count mismatch");
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    if (s[k].n != d[k].n) throw std::invalid_argument("copy_param_values: segment size mismatch");
+    for (std::size_t i = 0; i < s[k].n; ++i) d[k].value[i] = s[k].value[i];
+  }
+}
+
+std::size_t total_param_count(const std::vector<ParamBlockPtr>& params) {
+  std::size_t n = 0;
+  for (const auto& s : gather_segments(params)) n += s.n;
+  return n;
+}
+
+}  // namespace hcrl::nn

@@ -1,0 +1,120 @@
+// Parameter blocks: the unit of ownership, sharing and optimization.
+//
+// Layers hold parameters through shared_ptr<...Params>, which is exactly how
+// the paper's weight sharing (Fig. 6) is expressed: K autoencoders (and the
+// K Sub-Q heads) hold the *same* parameter block, so every training sample
+// updates the shared weights and gradients accumulate across uses.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/nn/matrix.hpp"
+
+namespace hcrl::nn {
+
+/// A view over one contiguous run of parameters and its gradient.
+struct ParamSegment {
+  double* value = nullptr;
+  double* grad = nullptr;
+  std::size_t n = 0;
+};
+
+/// Anything the optimizer can update.
+class ParamBlock {
+ public:
+  virtual ~ParamBlock() = default;
+
+  /// Append (value, grad) segments. Order must be stable across calls.
+  virtual void append_segments(std::vector<ParamSegment>& out) = 0;
+
+  std::size_t param_count() {
+    std::vector<ParamSegment> segs;
+    append_segments(segs);
+    std::size_t n = 0;
+    for (const auto& s : segs) n += s.n;
+    return n;
+  }
+
+  void zero_grad() {
+    std::vector<ParamSegment> segs;
+    append_segments(segs);
+    for (auto& s : segs) {
+      for (std::size_t i = 0; i < s.n; ++i) s.grad[i] = 0.0;
+    }
+  }
+};
+
+using ParamBlockPtr = std::shared_ptr<ParamBlock>;
+
+/// Parameters of a fully-connected layer: y = W x + b.
+class DenseParams final : public ParamBlock {
+ public:
+  DenseParams(std::size_t out_dim, std::size_t in_dim)
+      : W(out_dim, in_dim), b(out_dim, 0.0), gW(out_dim, in_dim), gb(out_dim, 0.0) {}
+
+  std::size_t in_dim() const noexcept { return W.cols(); }
+  std::size_t out_dim() const noexcept { return W.rows(); }
+
+  void append_segments(std::vector<ParamSegment>& out) override {
+    out.push_back({W.data(), gW.data(), W.size()});
+    out.push_back({b.data(), gb.data(), b.size()});
+  }
+
+  Matrix W;
+  Vec b;
+  Matrix gW;
+  Vec gb;
+};
+
+using DenseParamsPtr = std::shared_ptr<DenseParams>;
+
+/// Parameters of an LSTM layer. Gates are packed [i, f, g, o] along rows.
+class LstmParams final : public ParamBlock {
+ public:
+  LstmParams(std::size_t hidden_dim, std::size_t in_dim)
+      : Wx(4 * hidden_dim, in_dim),
+        Wh(4 * hidden_dim, hidden_dim),
+        b(4 * hidden_dim, 0.0),
+        gWx(4 * hidden_dim, in_dim),
+        gWh(4 * hidden_dim, hidden_dim),
+        gb(4 * hidden_dim, 0.0),
+        hidden_(hidden_dim),
+        in_(in_dim) {}
+
+  std::size_t hidden_dim() const noexcept { return hidden_; }
+  std::size_t in_dim() const noexcept { return in_; }
+
+  void append_segments(std::vector<ParamSegment>& out) override {
+    out.push_back({Wx.data(), gWx.data(), Wx.size()});
+    out.push_back({Wh.data(), gWh.data(), Wh.size()});
+    out.push_back({b.data(), gb.data(), b.size()});
+  }
+
+  Matrix Wx;  // input->gates
+  Matrix Wh;  // hidden->gates
+  Vec b;
+  Matrix gWx;
+  Matrix gWh;
+  Vec gb;
+
+ private:
+  std::size_t hidden_;
+  std::size_t in_;
+};
+
+using LstmParamsPtr = std::shared_ptr<LstmParams>;
+
+/// Flatten the segments of a list of blocks (order = registration order).
+std::vector<ParamSegment> gather_segments(const std::vector<ParamBlockPtr>& params);
+
+/// Copy parameter *values* from src to dst; shapes must match in total size
+/// and per-segment sizes (used for target-network sync).
+void copy_param_values(const std::vector<ParamBlockPtr>& src,
+                       const std::vector<ParamBlockPtr>& dst);
+
+/// Total scalar parameter count across blocks.
+std::size_t total_param_count(const std::vector<ParamBlockPtr>& params);
+
+}  // namespace hcrl::nn

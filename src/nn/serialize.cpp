@@ -1,0 +1,58 @@
+#include "src/nn/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace hcrl::nn {
+
+namespace {
+constexpr const char* kMagic = "hcrl-params-v1";
+}  // namespace
+
+void save_params(std::ostream& out, const std::vector<ParamBlockPtr>& params) {
+  auto segs = gather_segments(params);
+  std::size_t total = 0;
+  for (const auto& s : segs) total += s.n;
+  out << kMagic << "\n" << total << "\n";
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& s : segs) {
+    for (std::size_t i = 0; i < s.n; ++i) out << s.value[i] << "\n";
+  }
+  if (!out) throw std::runtime_error("save_params: stream write failed");
+}
+
+void save_params_file(const std::string& path, const std::vector<ParamBlockPtr>& params) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_params_file: cannot open " + path);
+  save_params(out, params);
+}
+
+void load_params(std::istream& in, const std::vector<ParamBlockPtr>& params) {
+  std::string magic;
+  std::size_t total = 0;
+  in >> magic >> total;
+  if (magic != kMagic) throw std::invalid_argument("load_params: bad magic '" + magic + "'");
+  auto segs = gather_segments(params);
+  std::size_t expected = 0;
+  for (const auto& s : segs) expected += s.n;
+  if (expected != total) {
+    throw std::invalid_argument("load_params: size mismatch (file " + std::to_string(total) +
+                                ", model " + std::to_string(expected) + ")");
+  }
+  for (auto& s : segs) {
+    for (std::size_t i = 0; i < s.n; ++i) {
+      if (!(in >> s.value[i])) throw std::invalid_argument("load_params: truncated file");
+    }
+  }
+}
+
+void load_params_file(const std::string& path, const std::vector<ParamBlockPtr>& params) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_params_file: cannot open " + path);
+  load_params(in, params);
+}
+
+}  // namespace hcrl::nn

@@ -1,0 +1,24 @@
+// Save/load parameter values of a model (text format, versioned).
+//
+// The format is intentionally simple: a magic header, the number of
+// parameter scalars, then one value per line with full precision. It is
+// shape-unaware — the caller must construct an identically-shaped model
+// before loading — which keeps the format stable across refactors.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/nn/param.hpp"
+
+namespace hcrl::nn {
+
+void save_params(std::ostream& out, const std::vector<ParamBlockPtr>& params);
+void save_params_file(const std::string& path, const std::vector<ParamBlockPtr>& params);
+
+/// Throws std::invalid_argument on header/size mismatch.
+void load_params(std::istream& in, const std::vector<ParamBlockPtr>& params);
+void load_params_file(const std::string& path, const std::vector<ParamBlockPtr>& params);
+
+}  // namespace hcrl::nn

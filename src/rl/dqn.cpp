@@ -1,0 +1,101 @@
+#include "src/rl/dqn.hpp"
+
+#include <stdexcept>
+
+#include "src/nn/loss.hpp"
+#include "src/rl/smdp.hpp"
+
+namespace hcrl::rl {
+
+namespace {
+nn::Network build_net(std::size_t state_dim, std::size_t n_actions,
+                      const DqnAgent::Options& opts, common::Rng& rng) {
+  nn::Network net;
+  std::size_t prev = state_dim;
+  for (std::size_t dim : opts.hidden_dims) {
+    net.add_dense(prev, dim, opts.activation, rng);
+    prev = dim;
+  }
+  net.add_dense(prev, n_actions, nn::Activation::kIdentity, rng);
+  return net;
+}
+}  // namespace
+
+DqnAgent::DqnAgent(std::size_t state_dim, std::size_t n_actions, const Options& opts,
+                   common::Rng& rng)
+    : state_dim_(state_dim),
+      n_actions_(n_actions),
+      opts_(opts),
+      online_(build_net(state_dim, n_actions, opts, rng)),
+      target_(build_net(state_dim, n_actions, opts, rng)),
+      replay_(opts.replay_capacity),
+      train_rng_(rng.fork()) {
+  if (state_dim == 0 || n_actions == 0) {
+    throw std::invalid_argument("DqnAgent: empty state or action space");
+  }
+  if (opts.batch_size == 0) throw std::invalid_argument("DqnAgent: batch_size must be > 0");
+  optimizer_ = std::make_unique<nn::Adam>(online_.params(),
+                                          nn::Adam::Options{.lr = opts.learning_rate});
+  sync_target();
+}
+
+nn::Vec DqnAgent::q_values(const nn::Vec& state) { return online_.predict(state); }
+
+std::size_t DqnAgent::act(const nn::Vec& state, common::Rng& rng) {
+  const double eps = opts_.epsilon.value(action_steps_);
+  ++action_steps_;
+  if (rng.bernoulli(eps)) {
+    return static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n_actions_) - 1));
+  }
+  return act_greedy(state);
+}
+
+std::size_t DqnAgent::act_greedy(const nn::Vec& state) { return nn::argmax(q_values(state)); }
+
+void DqnAgent::observe(Transition t) {
+  if (t.state.size() != state_dim_ || t.next_state.size() != state_dim_) {
+    throw std::invalid_argument("DqnAgent::observe: bad state dimension");
+  }
+  if (t.action >= n_actions_) throw std::invalid_argument("DqnAgent::observe: bad action");
+  replay_.push(std::move(t));
+  ++observed_;
+  if (replay_.size() >= opts_.min_replay_before_training &&
+      observed_ % static_cast<std::int64_t>(opts_.train_interval) == 0) {
+    last_loss_ = train_step();
+  }
+  if (observed_ % static_cast<std::int64_t>(opts_.target_sync_interval) == 0) {
+    sync_target();
+  }
+}
+
+double DqnAgent::train_step() {
+  if (replay_.size() < opts_.min_replay_before_training) return -1.0;
+  auto batch = replay_.sample(opts_.batch_size, train_rng_);
+  optimizer_->zero_grad();
+  double total_loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(batch.size());
+  for (const Transition* t : batch) {
+    nn::Vec next_q = target_.predict(t->next_state);
+    double best_next;
+    if (opts_.double_q) {
+      best_next = next_q[nn::argmax(online_.predict(t->next_state))];
+    } else {
+      best_next = next_q[nn::argmax(next_q)];
+    }
+    const double target = smdp_target(t->reward_rate, t->tau, opts_.beta, best_next);
+
+    nn::Vec pred = online_.forward(t->state);
+    nn::LossResult loss = nn::masked_mse_loss(pred, t->action, target);
+    total_loss += loss.value;
+    nn::scale_in_place(loss.grad, inv_n);
+    online_.backward(loss.grad);
+  }
+  nn::clip_grad_norm(online_.params(), opts_.grad_clip);
+  optimizer_->step();
+  ++train_steps_;
+  return total_loss * inv_n;
+}
+
+void DqnAgent::sync_target() { nn::copy_param_values(online_.params(), target_.params()); }
+
+}  // namespace hcrl::rl

@@ -1,0 +1,35 @@
+// Continuous-time (SMDP) Q-learning math — Eqn. (1)/(2) of the paper.
+//
+// For a sojourn of length tau in which the reward *rate* is r̄ and the
+// discount rate is beta, the discounted accumulated reward is
+//   ∫_0^tau e^{-beta t} r̄ dt = r̄ (1 - e^{-beta tau}) / beta,
+// and the value of the successor state is discounted by e^{-beta tau}.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hcrl::rl {
+
+/// e^{-beta * tau}: discount applied to the successor value.
+inline double smdp_discount(double beta, double tau) {
+  if (beta <= 0.0) throw std::invalid_argument("smdp_discount: beta must be > 0");
+  if (tau < 0.0) throw std::invalid_argument("smdp_discount: tau must be >= 0");
+  return std::exp(-beta * tau);
+}
+
+/// (1 - e^{-beta tau}) / beta: the integral of e^{-beta t} over [0, tau].
+/// Numerically stable for small beta*tau (expm1).
+inline double smdp_reward_weight(double beta, double tau) {
+  if (beta <= 0.0) throw std::invalid_argument("smdp_reward_weight: beta must be > 0");
+  if (tau < 0.0) throw std::invalid_argument("smdp_reward_weight: tau must be >= 0");
+  return -std::expm1(-beta * tau) / beta;
+}
+
+/// Bellman target of Eqn. (2):
+///   (1-e^{-beta tau})/beta * reward_rate + e^{-beta tau} * next_value.
+inline double smdp_target(double reward_rate, double tau, double beta, double next_value) {
+  return smdp_reward_weight(beta, tau) * reward_rate + smdp_discount(beta, tau) * next_value;
+}
+
+}  // namespace hcrl::rl

@@ -1,0 +1,121 @@
+#include "src/sim/cluster.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hcrl::sim {
+
+void ClusterConfig::validate() const {
+  if (num_servers == 0) throw std::invalid_argument("ClusterConfig: need >= 1 server");
+  server.validate();
+}
+
+Cluster::Cluster(const ClusterConfig& cfg, AllocationPolicy& allocation, PowerPolicy& power)
+    : Cluster(cfg, std::vector<ServerConfig>(cfg.num_servers, cfg.server), allocation, power) {}
+
+Cluster::Cluster(const ClusterConfig& cfg, std::vector<ServerConfig> per_server,
+                 AllocationPolicy& allocation, PowerPolicy& power)
+    : cfg_(cfg),
+      allocation_(allocation),
+      power_policy_(power),
+      metrics_(cfg.num_servers, cfg.keep_job_records) {
+  cfg_.validate();
+  if (per_server.size() != cfg_.num_servers) {
+    throw std::invalid_argument("Cluster: per-server config count != num_servers");
+  }
+  servers_.reserve(cfg_.num_servers);
+  for (std::size_t i = 0; i < cfg_.num_servers; ++i) {
+    if (per_server[i].num_resources != cfg_.server.num_resources) {
+      throw std::invalid_argument("Cluster: all servers must share num_resources");
+    }
+    per_server[i].validate();
+    servers_.emplace_back(i, per_server[i], &metrics_);
+  }
+}
+
+void Cluster::load_jobs(std::vector<Job> jobs) {
+  if (jobs_loaded_) throw std::logic_error("Cluster::load_jobs: already loaded");
+  std::unordered_set<JobId> ids;
+  ids.reserve(jobs.size());
+  Time prev = 0.0;
+  for (const Job& j : jobs) {
+    j.validate(cfg_.server.num_resources);
+    if (j.arrival < prev) throw std::invalid_argument("Cluster::load_jobs: not sorted by arrival");
+    prev = j.arrival;
+    if (!ids.insert(j.id).second) throw std::invalid_argument("Cluster::load_jobs: duplicate id");
+  }
+  jobs_ = std::move(jobs);
+  jobs_loaded_ = true;
+  // The `job` field of an arrival event is the *index* into jobs_.
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    queue_.push(jobs_[i].arrival, EventType::kJobArrival, /*server=*/0,
+                static_cast<JobId>(i));
+  }
+}
+
+bool Cluster::step() {
+  if (queue_.empty()) {
+    if (!finished_notified_) {
+      finished_notified_ = true;
+      allocation_.on_simulation_end(*this, now_);
+    }
+    return false;
+  }
+  const Event e = queue_.pop();
+  if (e.time < now_) throw std::logic_error("Cluster: time went backwards");
+  now_ = e.time;
+  handle(e);
+  return true;
+}
+
+void Cluster::run() {
+  while (step()) {
+  }
+}
+
+void Cluster::run_until_completed(std::size_t n) {
+  while (metrics_.jobs_completed() < n && step()) {
+  }
+}
+
+void Cluster::handle(const Event& e) {
+  switch (e.type) {
+    case EventType::kJobArrival: {
+      const Job& job = jobs_.at(static_cast<std::size_t>(e.job));
+      const ServerId target = allocation_.select_server(*this, job);
+      if (target >= servers_.size()) {
+        throw std::logic_error("AllocationPolicy returned invalid server " +
+                               std::to_string(target));
+      }
+      metrics_.on_arrival(job, now_);
+      servers_[target].handle_arrival(job, now_, queue_, power_policy_);
+      break;
+    }
+    case EventType::kJobFinish:
+      servers_.at(e.server).handle_job_finish(e.job, now_, queue_, power_policy_);
+      break;
+    case EventType::kWakeComplete:
+      servers_.at(e.server).handle_wake_complete(now_, queue_, power_policy_);
+      break;
+    case EventType::kSleepComplete:
+      servers_.at(e.server).handle_sleep_complete(now_, queue_, power_policy_);
+      break;
+    case EventType::kIdleTimeout:
+      servers_.at(e.server).handle_idle_timeout(e.generation, now_, queue_, power_policy_);
+      break;
+  }
+}
+
+double Cluster::mean_cpu_utilization() const {
+  double total = 0.0;
+  for (const Server& s : servers_) total += s.utilization(0);
+  return total / static_cast<double>(servers_.size());
+}
+
+std::size_t Cluster::servers_on() const {
+  std::size_t n = 0;
+  for (const Server& s : servers_) n += s.is_on() ? 1 : 0;
+  return n;
+}
+
+}  // namespace hcrl::sim

@@ -1,0 +1,84 @@
+// The cluster simulation engine: job broker + M servers + event loop.
+//
+// Continuous-time and event-driven, exactly as the paper's decision
+// framework requires: every job arrival is a global-tier decision epoch,
+// every idle-entry is a local-tier decision epoch. `step()` processes one
+// event so callers can checkpoint metrics at any granularity (the figures
+// plot metrics versus number-of-jobs).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/event_queue.hpp"
+#include "src/sim/metrics.hpp"
+#include "src/sim/policies.hpp"
+#include "src/sim/server.hpp"
+#include "src/sim/types.hpp"
+
+namespace hcrl::sim {
+
+struct ClusterConfig {
+  std::size_t num_servers = 30;
+  ServerConfig server;
+  bool keep_job_records = true;
+
+  void validate() const;
+};
+
+class Cluster {
+ public:
+  /// Policies are borrowed and must outlive the cluster.
+  Cluster(const ClusterConfig& cfg, AllocationPolicy& allocation, PowerPolicy& power);
+
+  /// Heterogeneous variant: one ServerConfig per server (size must equal
+  /// cfg.num_servers; all must share cfg.server.num_resources). The paper
+  /// assumes a homogeneous cluster "without loss of generality" — this
+  /// constructor removes that restriction (mixed power models, transition
+  /// times, hot-spot thresholds).
+  Cluster(const ClusterConfig& cfg, std::vector<ServerConfig> per_server,
+          AllocationPolicy& allocation, PowerPolicy& power);
+
+  /// Load the trace. Jobs must be sorted by arrival time and have unique
+  /// ids; throws otherwise. May only be called once, before stepping.
+  void load_jobs(std::vector<Job> jobs);
+
+  /// Process one event; returns false when the event queue is empty.
+  bool step();
+  /// Run until all events (arrivals + completions + transitions) drain.
+  void run();
+  /// Run until at least `n` jobs have completed (or events drain).
+  void run_until_completed(std::size_t n);
+
+  Time now() const noexcept { return now_; }
+  std::size_t num_servers() const noexcept { return servers_.size(); }
+  const Server& server(std::size_t i) const { return servers_.at(i); }
+  const std::vector<Job>& jobs() const noexcept { return jobs_; }
+
+  ClusterMetrics& metrics() noexcept { return metrics_; }
+  const ClusterMetrics& metrics() const noexcept { return metrics_; }
+  MetricsSnapshot snapshot() const { return metrics_.snapshot(now_); }
+
+  /// Sum of CPU utilizations across servers divided by M (cluster load).
+  double mean_cpu_utilization() const;
+  /// Number of servers currently powered on (active or idle).
+  std::size_t servers_on() const;
+
+  const ClusterConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void handle(const Event& e);
+
+  ClusterConfig cfg_;
+  AllocationPolicy& allocation_;
+  PowerPolicy& power_policy_;
+  ClusterMetrics metrics_;
+  std::vector<Server> servers_;
+  EventQueue queue_;
+  std::vector<Job> jobs_;
+  bool jobs_loaded_ = false;
+  bool finished_notified_ = false;
+  Time now_ = 0.0;
+};
+
+}  // namespace hcrl::sim

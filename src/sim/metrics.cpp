@@ -1,0 +1,74 @@
+#include "src/sim/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hcrl::sim {
+
+ClusterMetrics::ClusterMetrics(std::size_t num_servers, bool keep_job_records)
+    : keep_job_records_(keep_job_records),
+      server_power_(num_servers, 0.0),
+      server_reliability_(num_servers, 0.0) {
+  total_power_.set(0.0, 0.0);
+  jobs_in_system_.set(0.0, 0.0);
+  reliability_.set(0.0, 0.0);
+}
+
+void ClusterMetrics::on_arrival(const Job& job, Time now) {
+  (void)job;
+  ++arrived_;
+  jobs_in_system_.set(now, jobs_in_system_.current() + 1.0);
+}
+
+void ClusterMetrics::on_completion(const JobRecord& record, Time now) {
+  ++completed_;
+  jobs_in_system_.set(now, jobs_in_system_.current() - 1.0);
+  latency_sum_ += record.latency();
+  latency_stats_.add(record.latency());
+  wait_stats_.add(record.wait());
+  if (keep_job_records_) records_.push_back(record);
+}
+
+void ClusterMetrics::on_power_change(ServerId server, double new_watts, Time now) {
+  if (server >= server_power_.size()) throw std::out_of_range("metrics: bad server id");
+  const double delta = new_watts - server_power_[server];
+  server_power_[server] = new_watts;
+  total_power_.set(now, total_power_.current() + delta);
+}
+
+void ClusterMetrics::on_reliability_change(ServerId server, double new_penalty, Time now) {
+  if (server >= server_reliability_.size()) throw std::out_of_range("metrics: bad server id");
+  const double delta = new_penalty - server_reliability_[server];
+  server_reliability_[server] = new_penalty;
+  reliability_.set(now, reliability_.current() + delta);
+}
+
+double ClusterMetrics::latency_percentile(double q) const {
+  if (!keep_job_records_) {
+    throw std::logic_error("latency_percentile: job records disabled");
+  }
+  if (records_.empty()) throw std::logic_error("latency_percentile: no completed jobs");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("latency_percentile: q out of [0,1]");
+  std::vector<double> latencies;
+  latencies.reserve(records_.size());
+  for (const auto& r : records_) latencies.push_back(r.latency());
+  const auto k = static_cast<std::size_t>(q * static_cast<double>(latencies.size() - 1));
+  std::nth_element(latencies.begin(), latencies.begin() + static_cast<std::ptrdiff_t>(k),
+                   latencies.end());
+  return latencies[k];
+}
+
+MetricsSnapshot ClusterMetrics::snapshot(Time now) const {
+  MetricsSnapshot s;
+  s.now = now;
+  s.jobs_arrived = arrived_;
+  s.jobs_completed = completed_;
+  s.energy_joules = total_power_.integral(now);
+  s.accumulated_latency_s = latency_sum_;
+  s.average_power_watts = now > 0.0 ? s.energy_joules / now : 0.0;
+  s.jobs_in_system = jobs_in_system_.current();
+  s.reliability_penalty = reliability_.integral(now);
+  return s;
+}
+
+}  // namespace hcrl::sim

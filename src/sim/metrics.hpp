@@ -1,0 +1,82 @@
+// Cluster-level measurement: energy, latency, jobs-in-system, reliability.
+//
+// All quantities are exact integrals of piecewise-constant signals between
+// events — no sampling error. These integrals are also what the RL reward
+// functions consume (Eqn. 4 and Eqn. 5 integrate power / #VMs over sojourns).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/sim/types.hpp"
+
+namespace hcrl::sim {
+
+struct MetricsSnapshot {
+  Time now = 0.0;
+  std::size_t jobs_arrived = 0;
+  std::size_t jobs_completed = 0;
+  double energy_joules = 0.0;           // integral of total cluster power
+  double accumulated_latency_s = 0.0;   // sum of completed-job latencies
+  double average_power_watts = 0.0;     // energy / elapsed
+  double jobs_in_system = 0.0;          // current count
+  double reliability_penalty = 0.0;     // integral of hot-spot penalty
+
+  double energy_kwh() const noexcept { return energy_joules / 3.6e6; }
+  double average_latency_s() const noexcept {
+    return jobs_completed > 0 ? accumulated_latency_s / static_cast<double>(jobs_completed) : 0.0;
+  }
+  /// Average energy per completed job, in joules.
+  double energy_per_job() const noexcept {
+    return jobs_completed > 0 ? energy_joules / static_cast<double>(jobs_completed) : 0.0;
+  }
+};
+
+class ClusterMetrics {
+ public:
+  explicit ClusterMetrics(std::size_t num_servers, bool keep_job_records = true);
+
+  // -- signal updates (called by the cluster/servers) -----------------------
+  void on_arrival(const Job& job, Time now);
+  void on_completion(const JobRecord& record, Time now);
+  /// A server's power draw changed; delta may be negative.
+  void on_power_change(ServerId server, double new_watts, Time now);
+  /// A server's hot-spot (reliability) penalty contribution changed.
+  void on_reliability_change(ServerId server, double new_penalty, Time now);
+
+  // -- queries ---------------------------------------------------------------
+  double total_power_watts() const noexcept { return total_power_.current(); }
+  double energy_joules(Time now) const { return total_power_.integral(now); }
+  double jobs_in_system() const noexcept { return jobs_in_system_.current(); }
+  double jobs_in_system_integral(Time now) const { return jobs_in_system_.integral(now); }
+  double reliability_integral(Time now) const { return reliability_.integral(now); }
+  std::size_t jobs_arrived() const noexcept { return arrived_; }
+  std::size_t jobs_completed() const noexcept { return completed_; }
+  double accumulated_latency(Time /*unused*/ = 0.0) const noexcept { return latency_sum_; }
+  const common::RunningStats& latency_stats() const noexcept { return latency_stats_; }
+  const common::RunningStats& wait_stats() const noexcept { return wait_stats_; }
+  const std::vector<JobRecord>& job_records() const noexcept { return records_; }
+
+  /// Latency percentile over completed jobs (q in [0, 1]). Requires job
+  /// records to be kept; throws std::logic_error otherwise or when empty.
+  double latency_percentile(double q) const;
+
+  MetricsSnapshot snapshot(Time now) const;
+
+ private:
+  bool keep_job_records_;
+  std::vector<double> server_power_;
+  std::vector<double> server_reliability_;
+  common::TimeWeightedValue total_power_;
+  common::TimeWeightedValue jobs_in_system_;
+  common::TimeWeightedValue reliability_;
+  std::size_t arrived_ = 0;
+  std::size_t completed_ = 0;
+  double latency_sum_ = 0.0;
+  common::RunningStats latency_stats_;
+  common::RunningStats wait_stats_;
+  std::vector<JobRecord> records_;
+};
+
+}  // namespace hcrl::sim

@@ -1,0 +1,95 @@
+#include "src/sim/policies.hpp"
+
+#include "src/sim/cluster.hpp"
+#include "src/sim/server.hpp"
+
+namespace hcrl::sim {
+
+ServerId RoundRobinAllocator::select_server(const Cluster& cluster, const Job& job) {
+  (void)job;
+  const ServerId chosen = next_ % cluster.num_servers();
+  next_ = (next_ + 1) % cluster.num_servers();
+  return chosen;
+}
+
+ServerId RandomAllocator::select_server(const Cluster& cluster, const Job& job) {
+  (void)job;
+  return static_cast<ServerId>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(cluster.num_servers()) - 1));
+}
+
+ServerId LeastLoadedAllocator::select_server(const Cluster& cluster, const Job& job) {
+  (void)job;
+  // Prefer the least-utilized awake server; wake a sleeping one only when
+  // no awake server can absorb the job without saturating.
+  ServerId best_awake = cluster.num_servers();
+  double best_util = 2.0;
+  for (ServerId i = 0; i < cluster.num_servers(); ++i) {
+    const Server& s = cluster.server(i);
+    if (!s.is_on() && s.power_state() != PowerState::kWaking) continue;
+    const double u = s.utilization(0) + static_cast<double>(s.queue_length());
+    if (u < best_util) {
+      best_util = u;
+      best_awake = i;
+    }
+  }
+  if (best_awake < cluster.num_servers() && best_util + job.demand[0] <= 1.0) return best_awake;
+  // Saturated (or nothing awake): pick any sleeping server, else least loaded.
+  for (ServerId i = 0; i < cluster.num_servers(); ++i) {
+    if (cluster.server(i).power_state() == PowerState::kSleep) return i;
+  }
+  return best_awake < cluster.num_servers() ? best_awake : 0;
+}
+
+ServerId FirstFitPackingAllocator::select_server(const Cluster& cluster, const Job& job) {
+  // Choose the *busiest* awake server whose free resources fit the job and
+  // whose queue is empty (consolidation without creating waits); fall back
+  // to waking the first sleeping server, then to the shortest queue.
+  ServerId best = cluster.num_servers();
+  double best_util = -1.0;
+  for (ServerId i = 0; i < cluster.num_servers(); ++i) {
+    const Server& s = cluster.server(i);
+    const bool usable = s.is_on() || s.power_state() == PowerState::kWaking;
+    if (!usable || s.queue_length() > 0) continue;
+    if (!s.available().fits(job.demand)) continue;
+    if (s.utilization(0) > best_util) {
+      best_util = s.utilization(0);
+      best = i;
+    }
+  }
+  if (best < cluster.num_servers()) return best;
+  for (ServerId i = 0; i < cluster.num_servers(); ++i) {
+    if (cluster.server(i).power_state() == PowerState::kSleep) return i;
+  }
+  // Everything is busy: shortest combined backlog.
+  ServerId fallback = 0;
+  std::size_t best_backlog = static_cast<std::size_t>(-1);
+  for (ServerId i = 0; i < cluster.num_servers(); ++i) {
+    const std::size_t backlog = cluster.server(i).jobs_on_server();
+    if (backlog < best_backlog) {
+      best_backlog = backlog;
+      fallback = i;
+    }
+  }
+  return fallback;
+}
+
+double AlwaysOnPolicy::on_idle(const Server& server, Time now) {
+  (void)server;
+  (void)now;
+  return kNeverSleep;
+}
+
+double ImmediateSleepPolicy::on_idle(const Server& server, Time now) {
+  (void)server;
+  (void)now;
+  return 0.0;
+}
+
+double FixedTimeoutPolicy::on_idle(const Server& server, Time now) {
+  (void)server;
+  (void)now;
+  return timeout_;
+}
+
+}  // namespace hcrl::sim

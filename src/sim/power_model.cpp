@@ -1,0 +1,13 @@
+#include "src/sim/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcrl::sim {
+
+double PowerModel::active_power(double utilization) const noexcept {
+  const double x = std::clamp(utilization, 0.0, 1.0);
+  return idle_watts + (peak_watts - idle_watts) * (2.0 * x - std::pow(x, 1.4));
+}
+
+}  // namespace hcrl::sim

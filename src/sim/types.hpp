@@ -1,0 +1,70 @@
+// Core value types of the cluster simulator.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hcrl::sim {
+
+/// Simulation time in seconds (continuous).
+using Time = double;
+using JobId = std::int64_t;
+using ServerId = std::size_t;
+
+constexpr Time kSecondsPerHour = 3600.0;
+constexpr Time kSecondsPerDay = 24.0 * kSecondsPerHour;
+constexpr Time kSecondsPerWeek = 7.0 * kSecondsPerDay;
+
+/// Per-resource utilization/request vector, normalized so that one server
+/// offers 1.0 of each resource (CPU, memory, disk, ... — dimension D).
+class ResourceVector {
+ public:
+  ResourceVector() = default;
+  explicit ResourceVector(std::size_t dims, double fill = 0.0) : v_(dims, fill) {}
+  ResourceVector(std::initializer_list<double> init) : v_(init) {}
+
+  std::size_t dims() const noexcept { return v_.size(); }
+  double operator[](std::size_t i) const { return v_.at(i); }
+  double& operator[](std::size_t i) { return v_.at(i); }
+
+  void add(const ResourceVector& other);
+  void subtract(const ResourceVector& other);
+  /// True when every component of `demand` fits within `*this` capacity.
+  bool fits(const ResourceVector& demand) const;
+  /// Largest component value (the bottleneck dimension).
+  double max_component() const noexcept;
+  /// Clamp all components to [lo, hi].
+  void clamp(double lo, double hi) noexcept;
+
+  const std::vector<double>& values() const noexcept { return v_; }
+  std::string to_string() const;
+
+ private:
+  std::vector<double> v_;
+};
+
+/// A job / VM request: the unit of work dispatched by the broker.
+struct Job {
+  JobId id = 0;
+  Time arrival = 0.0;      // cluster arrival time
+  Time duration = 0.0;     // execution time once started (> 0)
+  ResourceVector demand;   // normalized per-resource request, each in (0, 1]
+
+  void validate(std::size_t expected_dims) const;
+};
+
+/// Completion record kept by the metrics collector.
+struct JobRecord {
+  JobId id = 0;
+  ServerId server = 0;
+  Time arrival = 0.0;
+  Time start = 0.0;
+  Time finish = 0.0;
+
+  Time latency() const noexcept { return finish - arrival; }
+  Time wait() const noexcept { return start - arrival; }
+};
+
+}  // namespace hcrl::sim

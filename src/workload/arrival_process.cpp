@@ -1,0 +1,68 @@
+#include "src/workload/arrival_process.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hcrl::workload {
+
+void ArrivalProcessOptions::validate() const {
+  if (base_rate_hz <= 0.0) throw std::invalid_argument("ArrivalProcess: base_rate_hz must be > 0");
+  if (diurnal_amplitude < 0.0 || diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument("ArrivalProcess: diurnal_amplitude out of [0,1)");
+  }
+  if (diurnal_period_s <= 0.0) throw std::invalid_argument("ArrivalProcess: bad period");
+  if (burst_multiplier < 1.0) throw std::invalid_argument("ArrivalProcess: burst_multiplier < 1");
+  if (mean_burst_s <= 0.0 || mean_calm_s <= 0.0) {
+    throw std::invalid_argument("ArrivalProcess: burst/calm means must be > 0");
+  }
+}
+
+double ArrivalProcessOptions::effective_rate() const {
+  const double duty = mean_burst_s / (mean_burst_s + mean_calm_s);
+  return base_rate_hz * (1.0 + duty * (burst_multiplier - 1.0));
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalProcessOptions& opts, common::Rng rng)
+    : opts_(opts), rng_(rng) {
+  opts_.validate();
+  lambda_max_ = opts_.base_rate_hz * (1.0 + opts_.diurnal_amplitude) * opts_.burst_multiplier;
+  next_switch_ = rng_.exponential(1.0 / opts_.mean_calm_s);
+}
+
+void ArrivalProcess::advance_burst_state(double t) {
+  while (t >= next_switch_) {
+    bursting_ = !bursting_;
+    const double mean = bursting_ ? opts_.mean_burst_s : opts_.mean_calm_s;
+    next_switch_ += rng_.exponential(1.0 / mean);
+  }
+}
+
+double ArrivalProcess::rate(double t) const {
+  const double diurnal =
+      1.0 + opts_.diurnal_amplitude *
+                std::sin(2.0 * std::numbers::pi * t / opts_.diurnal_period_s + opts_.diurnal_phase);
+  return opts_.base_rate_hz * diurnal * (bursting_ ? opts_.burst_multiplier : 1.0);
+}
+
+double ArrivalProcess::next_after(double t) {
+  // Lewis-Shedler thinning against the constant envelope lambda_max_.
+  for (;;) {
+    t += rng_.exponential(lambda_max_);
+    advance_burst_state(t);
+    if (rng_.uniform() * lambda_max_ <= rate(t)) return t;
+  }
+}
+
+std::vector<double> ArrivalProcess::generate(double horizon) {
+  std::vector<double> out;
+  double t = 0.0;
+  for (;;) {
+    t = next_after(t);
+    if (t >= horizon) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace hcrl::workload

@@ -1,0 +1,57 @@
+// Non-stationary arrival process for synthetic cluster traces.
+//
+// Google cluster arrivals are neither stationary nor Poisson: rates follow a
+// diurnal cycle and exhibit bursts. We model a doubly-modulated Poisson
+// process:
+//   lambda(t) = base * (1 + diurnal_amplitude * sin(2 pi t / period + phase))
+//               * burst_factor(t)
+// where burst_factor switches between 1 and `burst_multiplier` following a
+// two-state continuous-time Markov chain (an MMPP). Samples are drawn by
+// Lewis-Shedler thinning, which is exact for bounded lambda(t).
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/sim/types.hpp"
+
+namespace hcrl::workload {
+
+struct ArrivalProcessOptions {
+  double base_rate_hz = 0.15;       // long-run average arrivals per second
+  double diurnal_amplitude = 0.4;   // 0 disables the daily cycle; must be < 1
+  double diurnal_period_s = hcrl::sim::kSecondsPerDay;
+  double diurnal_phase = 0.0;
+  double burst_multiplier = 2.5;    // rate multiplier while bursting; >= 1
+  double mean_burst_s = 600.0;      // expected burst duration
+  double mean_calm_s = 5400.0;      // expected gap between bursts
+
+  void validate() const;
+  /// Long-run expected rate including burst duty cycle.
+  double effective_rate() const;
+};
+
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalProcessOptions& opts, common::Rng rng);
+
+  /// Instantaneous rate at time t given the current burst state.
+  double rate(double t) const;
+  /// Next arrival strictly after `t`.
+  double next_after(double t);
+  /// All arrivals in [0, horizon).
+  std::vector<double> generate(double horizon);
+
+  bool bursting() const noexcept { return bursting_; }
+
+ private:
+  void advance_burst_state(double t);
+
+  ArrivalProcessOptions opts_;
+  common::Rng rng_;
+  bool bursting_ = false;
+  double next_switch_ = 0.0;
+  double lambda_max_ = 0.0;
+};
+
+}  // namespace hcrl::workload

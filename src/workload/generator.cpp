@@ -1,0 +1,123 @@
+#include "src/workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hcrl::workload {
+
+void GeneratorOptions::validate() const {
+  if (num_jobs == 0) throw std::invalid_argument("GeneratorOptions: num_jobs must be > 0");
+  if (horizon_s <= 0.0) throw std::invalid_argument("GeneratorOptions: horizon must be > 0");
+  if (min_duration_s <= 0.0 || max_duration_s < min_duration_s) {
+    throw std::invalid_argument("GeneratorOptions: bad duration bounds");
+  }
+  if (cpu_min <= 0.0 || cpu_max > 1.0 || cpu_max < cpu_min) {
+    throw std::invalid_argument("GeneratorOptions: bad cpu bounds");
+  }
+  if (mem_min <= 0.0 || mem_max > 1.0 || mem_max < mem_min) {
+    throw std::invalid_argument("GeneratorOptions: bad memory bounds");
+  }
+  if (disk_lo <= 0.0 || disk_hi > 1.0 || disk_hi < disk_lo) {
+    throw std::invalid_argument("GeneratorOptions: bad disk bounds");
+  }
+  if (mem_ratio_lo <= 0.0 || mem_ratio_hi < mem_ratio_lo) {
+    throw std::invalid_argument("GeneratorOptions: bad memory ratio");
+  }
+}
+
+double TraceStats::cpu_load(std::size_t num_servers) const {
+  if (num_servers == 0 || horizon_s <= 0.0) return 0.0;
+  return total_cpu_seconds / (horizon_s * static_cast<double>(num_servers));
+}
+
+std::string TraceStats::to_string() const {
+  std::ostringstream os;
+  os << "jobs=" << num_jobs << " horizon=" << horizon_s / 3600.0 << "h"
+     << " mean_interarrival=" << mean_interarrival_s << "s"
+     << " mean_duration=" << mean_duration_s << "s"
+     << " mean_cpu=" << mean_cpu << " mean_mem=" << mean_memory << " mean_disk=" << mean_disk;
+  return os.str();
+}
+
+GoogleTraceGenerator::GoogleTraceGenerator(const GeneratorOptions& opts) : opts_(opts) {
+  opts_.validate();
+}
+
+sim::Job GoogleTraceGenerator::make_job(sim::JobId id, sim::Time arrival,
+                                        common::Rng& rng) const {
+  sim::Job job;
+  job.id = id;
+  job.arrival = arrival;
+  job.duration = std::clamp(std::exp(rng.normal(opts_.duration_log_mean, opts_.duration_log_sigma)),
+                            opts_.min_duration_s, opts_.max_duration_s);
+  const double cpu =
+      std::clamp(opts_.cpu_min + rng.exponential(1.0 / opts_.cpu_exp_mean), opts_.cpu_min,
+                 opts_.cpu_max);
+  const double mem = std::clamp(cpu * rng.uniform(opts_.mem_ratio_lo, opts_.mem_ratio_hi),
+                                opts_.mem_min, opts_.mem_max);
+  const double disk = rng.uniform(opts_.disk_lo, opts_.disk_hi);
+  job.demand = sim::ResourceVector{cpu, mem, disk};
+  return job;
+}
+
+std::vector<sim::Job> GoogleTraceGenerator::generate() {
+  common::Rng rng(opts_.seed);
+
+  ArrivalProcessOptions ap;
+  ap.diurnal_amplitude = opts_.diurnal_amplitude;
+  ap.burst_multiplier = opts_.burst_multiplier;
+  ap.mean_burst_s = opts_.mean_burst_s;
+  ap.mean_calm_s = opts_.mean_calm_s;
+  // Pick the base rate so the long-run effective rate produces num_jobs
+  // over the horizon in expectation.
+  const double target_rate = static_cast<double>(opts_.num_jobs) / opts_.horizon_s;
+  ap.base_rate_hz = 1.0;  // placeholder to pass validation
+  const double duty_gain = ap.effective_rate();
+  ap.base_rate_hz = target_rate / duty_gain;
+
+  ArrivalProcess process(ap, rng.fork());
+  std::vector<double> arrivals = process.generate(opts_.horizon_s);
+  // The thinning draw count is random; trim or extend to exactly num_jobs so
+  // experiments are comparable across seeds (the paper fixes 95,000 jobs).
+  while (arrivals.size() > opts_.num_jobs) arrivals.pop_back();
+  while (arrivals.size() < opts_.num_jobs) {
+    const double last = arrivals.empty() ? 0.0 : arrivals.back();
+    arrivals.push_back(process.next_after(std::max(last, opts_.horizon_s)));
+  }
+
+  std::vector<sim::Job> jobs;
+  jobs.reserve(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    jobs.push_back(make_job(static_cast<sim::JobId>(i), arrivals[i], rng));
+  }
+  return jobs;
+}
+
+TraceStats compute_stats(const std::vector<sim::Job>& jobs, double horizon_s) {
+  TraceStats s;
+  s.num_jobs = jobs.size();
+  s.horizon_s = horizon_s;
+  if (jobs.empty()) return s;
+  double dur = 0.0, cpu = 0.0, mem = 0.0, disk = 0.0, cpu_seconds = 0.0;
+  for (const auto& j : jobs) {
+    dur += j.duration;
+    cpu += j.demand[0];
+    if (j.demand.dims() > 1) mem += j.demand[1];
+    if (j.demand.dims() > 2) disk += j.demand[2];
+    cpu_seconds += j.duration * j.demand[0];
+  }
+  const double n = static_cast<double>(jobs.size());
+  s.mean_duration_s = dur / n;
+  s.mean_cpu = cpu / n;
+  s.mean_memory = mem / n;
+  s.mean_disk = disk / n;
+  s.total_cpu_seconds = cpu_seconds;
+  if (jobs.size() > 1) {
+    s.mean_interarrival_s = (jobs.back().arrival - jobs.front().arrival) / (n - 1.0);
+  }
+  return s;
+}
+
+}  // namespace hcrl::workload

@@ -1,0 +1,106 @@
+// Synthetic Google-cluster-like trace generator.
+//
+// The paper evaluates on segments of the May-2011 Google cluster-usage
+// trace: ~100,000 jobs per one-week segment per 30-40 machine cluster, job
+// durations clipped to [1 min, 2 h], and per-job CPU/memory/disk requests
+// normalized by one server's capacity. The real trace cannot ship with this
+// repository, so this generator reproduces those published aggregates:
+//
+//  * arrivals: non-stationary Poisson (diurnal + bursty MMPP), calibrated so
+//    the expected job count over the horizon matches `num_jobs`;
+//  * durations: lognormal body clipped to [min_duration, max_duration]
+//    (Google task durations are heavy-tailed; the clip matches the paper's
+//    extraction rule);
+//  * demands: small CPU requests (exponential body, clipped), memory
+//    correlated with CPU, small disk — matching the "most tasks are tiny"
+//    shape of the Google trace.
+//
+// `TraceStats` quantifies the result so tests can pin the calibration.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/sim/types.hpp"
+#include "src/workload/arrival_process.hpp"
+
+namespace hcrl::workload {
+
+struct GeneratorOptions {
+  std::size_t num_jobs = 95000;
+  double horizon_s = hcrl::sim::kSecondsPerWeek;
+  std::uint64_t seed = 1;
+
+  // Durations (seconds): lognormal(log_mean, log_sigma) clipped.
+  double min_duration_s = 60.0;     // 1 minute  (paper, §VII-A)
+  double max_duration_s = 7200.0;   // 2 hours   (paper, §VII-A)
+  double duration_log_mean = 6.2;   // exp(6.2) ~ 493 s median
+  double duration_log_sigma = 1.0;
+
+  // CPU demand: cpu = clip(cpu_min + Exp(cpu_exp_mean), cpu_min, cpu_max).
+  // Google-trace task requests are tiny relative to a server (the paper's
+  // round-robin cluster idles near P(0%)); these defaults give a mean
+  // request of ~0.04 CPU and a cluster CPU load of ~15-20% at 95k jobs/week
+  // on 30 machines — light enough that consolidation does not stall jobs,
+  // exactly the regime in which the paper's effects appear.
+  double cpu_min = 0.01;
+  double cpu_max = 0.35;
+  double cpu_exp_mean = 0.03;
+
+  // Memory demand: mem = clip(cpu * U(mem_ratio_lo, mem_ratio_hi), ...).
+  double mem_ratio_lo = 0.5;
+  double mem_ratio_hi = 1.5;
+  double mem_min = 0.01;
+  double mem_max = 0.8;
+
+  // Disk demand: U(disk_lo, disk_hi).
+  double disk_lo = 0.005;
+  double disk_hi = 0.05;
+
+  // Arrival-process shape (its base rate is derived from num_jobs/horizon).
+  // Google arrivals are strongly bursty: jobs come in waves with calm gaps
+  // of a few minutes in between — short enough that an "ad hoc" immediate
+  // sleep policy thrashes through wake/sleep cycles (Fig. 4a).
+  double diurnal_amplitude = 0.4;
+  double burst_multiplier = 4.0;
+  double mean_burst_s = 300.0;
+  double mean_calm_s = 1500.0;
+
+  void validate() const;
+};
+
+struct TraceStats {
+  std::size_t num_jobs = 0;
+  double horizon_s = 0.0;
+  double mean_interarrival_s = 0.0;
+  double mean_duration_s = 0.0;
+  double mean_cpu = 0.0;
+  double mean_memory = 0.0;
+  double mean_disk = 0.0;
+  /// Offered CPU load per server: sum(duration*cpu) / (horizon * servers).
+  double cpu_load(std::size_t num_servers) const;
+  double total_cpu_seconds = 0.0;
+
+  std::string to_string() const;
+};
+
+class GoogleTraceGenerator {
+ public:
+  explicit GoogleTraceGenerator(const GeneratorOptions& opts);
+
+  /// Generate a full trace, sorted by arrival, ids 0..n-1.
+  std::vector<sim::Job> generate();
+
+  /// Generate only the per-job fields for an externally-supplied arrival
+  /// time (used when splicing synthetic jobs into real arrival sequences).
+  sim::Job make_job(sim::JobId id, sim::Time arrival, common::Rng& rng) const;
+
+  const GeneratorOptions& options() const noexcept { return opts_; }
+
+ private:
+  GeneratorOptions opts_;
+};
+
+TraceStats compute_stats(const std::vector<sim::Job>& jobs, double horizon_s);
+
+}  // namespace hcrl::workload

@@ -1,0 +1,78 @@
+#include "src/workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/csv.hpp"
+
+namespace hcrl::workload {
+
+namespace {
+constexpr const char* kResourceNames[] = {"cpu", "memory", "disk"};
+}
+
+void write_trace(std::ostream& out, const std::vector<sim::Job>& jobs) {
+  common::CsvWriter writer(out);
+  const std::size_t dims = jobs.empty() ? 3 : jobs.front().demand.dims();
+  std::vector<std::string> header = {"id", "arrival", "duration"};
+  for (std::size_t d = 0; d < dims; ++d) {
+    header.push_back(d < 3 ? kResourceNames[d] : "resource" + std::to_string(d));
+  }
+  writer.write_row(header);
+  for (const auto& job : jobs) {
+    std::vector<double> row = {static_cast<double>(job.id), job.arrival, job.duration};
+    for (std::size_t d = 0; d < job.demand.dims(); ++d) row.push_back(job.demand[d]);
+    writer.write_row_doubles(row);
+  }
+}
+
+void write_trace_file(const std::string& path, const std::vector<sim::Job>& jobs) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_trace_file: cannot open " + path);
+  write_trace(out, jobs);
+}
+
+std::vector<sim::Job> read_trace(std::istream& in) {
+  common::CsvReader reader(in);
+  std::vector<std::string> fields;
+  if (!reader.read_row(fields)) throw std::invalid_argument("read_trace: empty input");
+  if (fields.size() < 4 || fields[0] != "id") {
+    throw std::invalid_argument("read_trace: bad header");
+  }
+  const std::size_t dims = fields.size() - 3;
+
+  std::vector<sim::Job> jobs;
+  double prev_arrival = -1.0;
+  while (reader.read_row(fields)) {
+    if (fields.size() != dims + 3) {
+      throw std::invalid_argument("read_trace: row has wrong column count");
+    }
+    sim::Job job;
+    try {
+      job.id = std::stoll(fields[0]);
+      job.arrival = std::stod(fields[1]);
+      job.duration = std::stod(fields[2]);
+      job.demand = sim::ResourceVector(dims);
+      for (std::size_t d = 0; d < dims; ++d) job.demand[d] = std::stod(fields[3 + d]);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("read_trace: non-numeric field in row " +
+                                  std::to_string(jobs.size() + 2));
+    }
+    job.validate(dims);
+    if (job.arrival < prev_arrival) {
+      throw std::invalid_argument("read_trace: arrivals not sorted");
+    }
+    prev_arrival = job.arrival;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<sim::Job> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_trace_file: cannot open " + path);
+  return read_trace(in);
+}
+
+}  // namespace hcrl::workload

@@ -1,0 +1,22 @@
+// CSV trace persistence so real (e.g. Google) traces can be dropped in.
+//
+// Format: header `id,arrival,duration,cpu,memory,disk` (resource columns
+// grow with D), one job per row, sorted by arrival.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hpp"
+
+namespace hcrl::workload {
+
+void write_trace(std::ostream& out, const std::vector<sim::Job>& jobs);
+void write_trace_file(const std::string& path, const std::vector<sim::Job>& jobs);
+
+/// Throws std::invalid_argument on malformed rows; enforces sorted arrivals.
+std::vector<sim::Job> read_trace(std::istream& in);
+std::vector<sim::Job> read_trace_file(const std::string& path);
+
+}  // namespace hcrl::workload

@@ -1,0 +1,111 @@
+#include "src/workload/arrival_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hcrl::workload {
+namespace {
+
+ArrivalProcessOptions plain_poisson(double rate) {
+  ArrivalProcessOptions o;
+  o.base_rate_hz = rate;
+  o.diurnal_amplitude = 0.0;
+  o.burst_multiplier = 1.0;
+  return o;
+}
+
+TEST(ArrivalProcessOptions, Validation) {
+  ArrivalProcessOptions o;
+  EXPECT_NO_THROW(o.validate());
+  o.base_rate_hz = 0.0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = ArrivalProcessOptions{};
+  o.diurnal_amplitude = 1.0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = ArrivalProcessOptions{};
+  o.burst_multiplier = 0.5;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = ArrivalProcessOptions{};
+  o.mean_burst_s = 0.0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+}
+
+TEST(ArrivalProcessOptions, EffectiveRateIncludesBurstDuty) {
+  ArrivalProcessOptions o;
+  o.base_rate_hz = 1.0;
+  o.burst_multiplier = 3.0;
+  o.mean_burst_s = 100.0;
+  o.mean_calm_s = 300.0;
+  // duty = 0.25 -> 1 + 0.25 * 2 = 1.5.
+  EXPECT_NEAR(o.effective_rate(), 1.5, 1e-12);
+}
+
+TEST(ArrivalProcess, PlainPoissonRateMatches) {
+  common::Rng rng(1);
+  ArrivalProcess p(plain_poisson(0.5), rng);
+  const auto arrivals = p.generate(20000.0);
+  EXPECT_NEAR(static_cast<double>(arrivals.size()) / 20000.0, 0.5, 0.02);
+}
+
+TEST(ArrivalProcess, ArrivalsAreSortedAndPositive) {
+  common::Rng rng(2);
+  ArrivalProcess p(ArrivalProcessOptions{}, rng);
+  const auto arrivals = p.generate(50000.0);
+  ASSERT_FALSE(arrivals.empty());
+  EXPECT_GT(arrivals.front(), 0.0);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) EXPECT_GT(arrivals[i], arrivals[i - 1]);
+  EXPECT_LT(arrivals.back(), 50000.0);
+}
+
+TEST(ArrivalProcess, EffectiveRateWithBurstsMatches) {
+  ArrivalProcessOptions o;
+  o.base_rate_hz = 0.2;
+  o.diurnal_amplitude = 0.0;
+  o.burst_multiplier = 3.0;
+  o.mean_burst_s = 200.0;
+  o.mean_calm_s = 800.0;
+  common::Rng rng(3);
+  ArrivalProcess p(o, rng);
+  const double horizon = 500000.0;
+  const auto arrivals = p.generate(horizon);
+  EXPECT_NEAR(static_cast<double>(arrivals.size()) / horizon, o.effective_rate(),
+              0.05 * o.effective_rate());
+}
+
+TEST(ArrivalProcess, DiurnalModulationChangesRateOverDay) {
+  ArrivalProcessOptions o;
+  o.base_rate_hz = 1.0;
+  o.diurnal_amplitude = 0.8;
+  o.burst_multiplier = 1.0;
+  common::Rng rng(4);
+  ArrivalProcess p(o, rng);
+  // rate() is deterministic given burst state (no bursts here):
+  const double quarter = o.diurnal_period_s / 4.0;  // sin peak
+  EXPECT_NEAR(p.rate(quarter), 1.8, 1e-9);
+  EXPECT_NEAR(p.rate(3.0 * quarter), 0.2, 1e-9);
+}
+
+TEST(ArrivalProcess, NextAfterIsStrictlyIncreasing) {
+  common::Rng rng(5);
+  ArrivalProcess p(ArrivalProcessOptions{}, rng);
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double next = p.next_after(t);
+    EXPECT_GT(next, t);
+    t = next;
+  }
+}
+
+TEST(ArrivalProcess, DeterministicGivenSeed) {
+  ArrivalProcessOptions o;
+  common::Rng a(6), b(6);
+  ArrivalProcess pa(o, a), pb(o, b);
+  const auto xa = pa.generate(10000.0);
+  const auto xb = pb.generate(10000.0);
+  ASSERT_EQ(xa.size(), xb.size());
+  for (std::size_t i = 0; i < xa.size(); ++i) EXPECT_DOUBLE_EQ(xa[i], xb[i]);
+}
+
+}  // namespace
+}  // namespace hcrl::workload

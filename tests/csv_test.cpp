@@ -1,0 +1,78 @@
+#include "src/common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hcrl::common {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, EscapesCommasAndQuotes) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, DoubleRowKeepsPrecision) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row_doubles({0.1, 123456789.123456});
+  std::istringstream is(os.str());
+  CsvReader r(is);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(r.read_row(fields));
+  EXPECT_DOUBLE_EQ(std::stod(fields[0]), 0.1);
+  EXPECT_DOUBLE_EQ(std::stod(fields[1]), 123456789.123456);
+}
+
+TEST(CsvReader, ParsesQuotedFields) {
+  const auto fields = CsvReader::parse_line("a,\"b,c\",\"d\"\"e\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+}
+
+TEST(CsvReader, EmptyFields) {
+  const auto fields = CsvReader::parse_line(",,");
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(CsvReader, SkipsBlankLinesAndHandlesCrLf) {
+  std::istringstream is("a,b\r\n\r\nc,d\n");
+  CsvReader r(is);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(r.read_row(fields));
+  EXPECT_EQ(fields[0], "a");
+  ASSERT_TRUE(r.read_row(fields));
+  EXPECT_EQ(fields[0], "c");
+  EXPECT_FALSE(r.read_row(fields));
+}
+
+TEST(CsvReader, UnterminatedQuoteThrows) {
+  EXPECT_THROW(CsvReader::parse_line("\"oops"), std::invalid_argument);
+}
+
+TEST(Csv, RoundTripWithSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  const std::vector<std::string> original = {"x,y", "q\"uote", "plain", ""};
+  w.write_row(original);
+  std::istringstream is(os.str());
+  CsvReader r(is);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(r.read_row(fields));
+  EXPECT_EQ(fields, original);
+}
+
+}  // namespace
+}  // namespace hcrl::common

@@ -1,0 +1,117 @@
+#include "src/rl/dqn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hcrl::rl {
+namespace {
+
+DqnAgent::Options small_opts() {
+  DqnAgent::Options o;
+  o.hidden_dims = {16};
+  o.beta = 0.5;
+  o.learning_rate = 5e-3;
+  o.replay_capacity = 2000;
+  o.batch_size = 16;
+  o.min_replay_before_training = 64;
+  o.train_interval = 1;
+  o.target_sync_interval = 50;
+  o.epsilon = EpsilonSchedule::constant(0.2);
+  return o;
+}
+
+TEST(DqnAgent, ConstructionValidation) {
+  common::Rng rng(1);
+  EXPECT_THROW(DqnAgent(0, 2, small_opts(), rng), std::invalid_argument);
+  EXPECT_THROW(DqnAgent(2, 0, small_opts(), rng), std::invalid_argument);
+  auto bad = small_opts();
+  bad.batch_size = 0;
+  EXPECT_THROW(DqnAgent(2, 2, bad, rng), std::invalid_argument);
+}
+
+TEST(DqnAgent, QValuesShape) {
+  common::Rng rng(2);
+  DqnAgent agent(3, 5, small_opts(), rng);
+  EXPECT_EQ(agent.q_values({0.1, 0.2, 0.3}).size(), 5u);
+}
+
+TEST(DqnAgent, ObserveValidation) {
+  common::Rng rng(3);
+  DqnAgent agent(2, 2, small_opts(), rng);
+  Transition bad_state;
+  bad_state.state = {1.0};
+  bad_state.next_state = {1.0, 2.0};
+  EXPECT_THROW(agent.observe(bad_state), std::invalid_argument);
+  Transition bad_action;
+  bad_action.state = {1.0, 2.0};
+  bad_action.next_state = {1.0, 2.0};
+  bad_action.action = 5;
+  EXPECT_THROW(agent.observe(bad_action), std::invalid_argument);
+}
+
+TEST(DqnAgent, TrainStepRequiresWarmReplay) {
+  common::Rng rng(4);
+  DqnAgent agent(2, 2, small_opts(), rng);
+  EXPECT_LT(agent.train_step(), 0.0);  // signals "not trained"
+}
+
+TEST(DqnAgent, ActGreedyIsArgmaxOfQValues) {
+  common::Rng rng(5);
+  DqnAgent agent(2, 3, small_opts(), rng);
+  const nn::Vec s = {0.4, -0.4};
+  const auto q = agent.q_values(s);
+  EXPECT_EQ(agent.act_greedy(s), nn::argmax(q));
+}
+
+// A contextual bandit the agent must solve: state (x) in {(0),(1)}; action
+// must match the state bit; matching pays 0, mismatching pays -2 (as reward
+// *rates* over unit sojourns). After training, greedy actions must match.
+TEST(DqnAgent, SolvesContextualBandit) {
+  common::Rng rng(6);
+  DqnAgent agent(1, 2, small_opts(), rng);
+  common::Rng env_rng(7);
+  for (int i = 0; i < 1500; ++i) {
+    const double x = env_rng.bernoulli(0.5) ? 1.0 : 0.0;
+    const nn::Vec state = {x};
+    const std::size_t a = agent.act(state, env_rng);
+    const double r = (static_cast<double>(a) == x) ? 0.0 : -2.0;
+    Transition t;
+    t.state = state;
+    t.action = a;
+    t.reward_rate = r;
+    t.tau = 1.0;
+    t.next_state = {env_rng.bernoulli(0.5) ? 1.0 : 0.0};
+    agent.observe(std::move(t));
+  }
+  EXPECT_EQ(agent.act_greedy({0.0}), 0u);
+  EXPECT_EQ(agent.act_greedy({1.0}), 1u);
+  EXPECT_GT(agent.train_steps(), 100);
+}
+
+TEST(DqnAgent, EpsilonDecaysWithActions) {
+  common::Rng rng(8);
+  auto o = small_opts();
+  o.epsilon = EpsilonSchedule::linear(1.0, 0.0, 100);
+  DqnAgent agent(1, 2, o, rng);
+  EXPECT_DOUBLE_EQ(agent.current_epsilon(), 1.0);
+  common::Rng act_rng(9);
+  for (int i = 0; i < 100; ++i) agent.act({0.0}, act_rng);
+  EXPECT_DOUBLE_EQ(agent.current_epsilon(), 0.0);
+}
+
+TEST(DqnAgent, ReplayTracksObservations) {
+  common::Rng rng(10);
+  DqnAgent agent(1, 2, small_opts(), rng);
+  for (int i = 0; i < 10; ++i) {
+    Transition t;
+    t.state = {0.0};
+    t.next_state = {0.0};
+    agent.observe(std::move(t));
+  }
+  EXPECT_EQ(agent.observed_transitions(), 10);
+  EXPECT_EQ(agent.replay().size(), 10u);
+}
+
+}  // namespace
+}  // namespace hcrl::rl

@@ -1,0 +1,122 @@
+#include "src/core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hcrl::core {
+namespace {
+
+ExperimentConfig tiny_config(SystemKind kind, std::size_t jobs = 600) {
+  ExperimentConfig cfg;
+  cfg.system = kind;
+  cfg.num_servers = 6;
+  cfg.num_groups = 2;
+  cfg.trace.num_jobs = jobs;
+  cfg.trace.horizon_s = static_cast<double>(jobs) * 6.4;  // paper-like rate
+  cfg.trace.seed = 21;
+  cfg.pretrain_jobs = jobs / 4;
+  cfg.checkpoint_every_jobs = 100;
+  return cfg;
+}
+
+TEST(ExperimentConfig, FinalizePropagatesDimensions) {
+  ExperimentConfig cfg = tiny_config(SystemKind::kHierarchical);
+  cfg.server.t_on = 25.0;
+  cfg.finalize();
+  EXPECT_EQ(cfg.drl.qnet.encoder.num_servers, 6u);
+  EXPECT_EQ(cfg.drl.qnet.encoder.num_groups, 2u);
+  EXPECT_EQ(cfg.local.num_servers, 6u);
+  EXPECT_DOUBLE_EQ(cfg.local.t_on_s, 25.0);
+}
+
+TEST(ExperimentConfig, ValidationCatchesBadSetups) {
+  ExperimentConfig cfg = tiny_config(SystemKind::kDrlFixedTimeout);
+  cfg.fixed_timeout_s = -5.0;
+  cfg.finalize();
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SystemKind, NamesAreDistinct) {
+  EXPECT_EQ(to_string(SystemKind::kRoundRobin), "round-robin");
+  EXPECT_EQ(to_string(SystemKind::kDrlOnly), "drl-only");
+  EXPECT_EQ(to_string(SystemKind::kHierarchical), "hierarchical");
+  EXPECT_EQ(to_string(SystemKind::kDrlFixedTimeout), "drl-fixed-timeout");
+  EXPECT_EQ(to_string(SystemKind::kLeastLoaded), "least-loaded");
+  EXPECT_EQ(to_string(SystemKind::kFirstFitPacking), "first-fit-packing");
+}
+
+class ExperimentRun : public testing::TestWithParam<SystemKind> {};
+
+TEST_P(ExperimentRun, CompletesAllJobsWithSaneMetrics) {
+  const ExperimentResult r = run_experiment(tiny_config(GetParam()));
+  const auto& s = r.final_snapshot;
+  EXPECT_EQ(s.jobs_arrived, 600u);
+  EXPECT_EQ(s.jobs_completed, 600u);
+  EXPECT_DOUBLE_EQ(s.jobs_in_system, 0.0);
+  EXPECT_GT(s.energy_joules, 0.0);
+  // Energy can never exceed all servers at transition/peak power forever.
+  EXPECT_LE(s.energy_joules, 6.0 * 145.0 * s.now * 1.001);
+  EXPECT_GT(s.accumulated_latency_s, 0.0);
+  // Mean latency at least the minimum job duration.
+  EXPECT_GE(s.average_latency_s(), 60.0);
+  EXPECT_EQ(r.system, to_string(GetParam()));
+  EXPECT_GT(r.wall_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, ExperimentRun,
+                         testing::Values(SystemKind::kRoundRobin, SystemKind::kDrlOnly,
+                                         SystemKind::kHierarchical,
+                                         SystemKind::kDrlFixedTimeout,
+                                         SystemKind::kLeastLoaded,
+                                         SystemKind::kFirstFitPacking));
+
+TEST(Experiment, CheckpointSeriesIsMonotone) {
+  ExperimentConfig cfg = tiny_config(SystemKind::kRoundRobin);
+  const ExperimentResult r = run_experiment(cfg);
+  ASSERT_GE(r.series.size(), 3u);
+  for (std::size_t i = 1; i < r.series.size(); ++i) {
+    EXPECT_GT(r.series[i].jobs_completed, r.series[i - 1].jobs_completed);
+    EXPECT_GE(r.series[i].sim_time_s, r.series[i - 1].sim_time_s);
+    EXPECT_GE(r.series[i].energy_kwh, r.series[i - 1].energy_kwh);
+    EXPECT_GE(r.series[i].accumulated_latency_s, r.series[i - 1].accumulated_latency_s);
+  }
+}
+
+TEST(Experiment, CheckpointsDisabledWhenZero) {
+  ExperimentConfig cfg = tiny_config(SystemKind::kRoundRobin);
+  cfg.checkpoint_every_jobs = 0;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_TRUE(r.series.empty());
+}
+
+TEST(Experiment, ComparisonSharesTraceAcrossSystems) {
+  ExperimentConfig cfg = tiny_config(SystemKind::kRoundRobin, 400);
+  const auto results =
+      run_comparison(cfg, {SystemKind::kRoundRobin, SystemKind::kLeastLoaded});
+  ASSERT_EQ(results.size(), 2u);
+  // Same trace: both saw identical job populations.
+  EXPECT_EQ(results[0].final_snapshot.jobs_completed, 400u);
+  EXPECT_EQ(results[1].final_snapshot.jobs_completed, 400u);
+  EXPECT_DOUBLE_EQ(results[0].trace_stats.mean_duration_s,
+                   results[1].trace_stats.mean_duration_s);
+}
+
+TEST(Experiment, PretrainingRunsForDrlSystems) {
+  ExperimentConfig cfg = tiny_config(SystemKind::kDrlOnly);
+  cfg.pretrain_jobs = 200;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.final_snapshot.jobs_completed, 600u);
+}
+
+TEST(Experiment, RoundRobinNeverSleepsSoPowerAtLeastIdleFloor) {
+  ExperimentConfig cfg = tiny_config(SystemKind::kRoundRobin);
+  const ExperimentResult r = run_experiment(cfg);
+  // After the first dispatch cycle all 6 servers stay on >= idle power, so
+  // the average power must approach >= ~5.5 * 87 W.
+  EXPECT_GT(r.final_snapshot.average_power_watts, 5.0 * 87.0);
+  EXPECT_EQ(r.servers_on_at_end, 6u);
+}
+
+}  // namespace
+}  // namespace hcrl::core

@@ -1,0 +1,116 @@
+// Randomized property tests: invariants must survive adversarial policies,
+// random timeouts and random traces.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/sim/cluster.hpp"
+#include "src/workload/generator.hpp"
+
+namespace hcrl {
+namespace {
+
+/// Allocation policy that picks uniformly random valid servers — the
+/// adversarial "no intelligence at all" case.
+class RandomPolicy final : public sim::AllocationPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+  sim::ServerId select_server(const sim::Cluster& cluster, const sim::Job&) override {
+    return static_cast<sim::ServerId>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(cluster.num_servers()) - 1));
+  }
+  std::string name() const override { return "fuzz-random"; }
+
+ private:
+  common::Rng rng_;
+};
+
+/// Power policy that returns arbitrary random timeouts, including 0 and
+/// "never sleep" — stresses every path of the server state machine.
+class RandomTimeoutPolicy final : public sim::PowerPolicy {
+ public:
+  explicit RandomTimeoutPolicy(std::uint64_t seed) : rng_(seed) {}
+  double on_idle(const sim::Server&, sim::Time) override {
+    const double roll = rng_.uniform();
+    if (roll < 0.25) return 0.0;
+    if (roll < 0.35) return sim::kNeverSleep;
+    return rng_.uniform(1.0, 600.0);
+  }
+  std::string name() const override { return "fuzz-timeout"; }
+
+ private:
+  common::Rng rng_;
+};
+
+class SimulatorFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorFuzz, InvariantsHoldUnderRandomPolicies) {
+  const std::uint64_t seed = GetParam();
+  workload::GeneratorOptions g;
+  g.num_jobs = 1500;
+  g.horizon_s = 1500.0 * 4.0;  // heavier than paper load: stress queues
+  g.seed = seed;
+  auto jobs = workload::GoogleTraceGenerator(g).generate();
+
+  RandomPolicy alloc(seed * 3 + 1);
+  RandomTimeoutPolicy power(seed * 5 + 2);
+  sim::ClusterConfig cfg;
+  cfg.num_servers = 7;  // deliberately awkward size
+  sim::Cluster cluster(cfg, alloc, power);
+  cluster.load_jobs(std::move(jobs));
+  cluster.run();
+
+  const auto s = cluster.snapshot();
+  EXPECT_EQ(s.jobs_arrived, 1500u);
+  EXPECT_EQ(s.jobs_completed, 1500u);
+  EXPECT_DOUBLE_EQ(s.jobs_in_system, 0.0);
+  EXPECT_GE(s.energy_joules, 0.0);
+  EXPECT_LE(s.energy_joules, 7.0 * 145.0 * s.now * 1.001);
+
+  // Per-job sanity: latency >= duration; start >= arrival; finish > start.
+  for (const auto& r : cluster.metrics().job_records()) {
+    EXPECT_GE(r.start, r.arrival - 1e-9);
+    EXPECT_GT(r.finish, r.start);
+  }
+
+  // All servers end quiescent (sleep or idle) with nothing running.
+  for (std::size_t i = 0; i < cluster.num_servers(); ++i) {
+    EXPECT_EQ(cluster.server(i).jobs_on_server(), 0u);
+    EXPECT_LE(cluster.server(i).utilization(0), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorFuzz,
+                         testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+class HeavyLoadFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeavyLoadFuzz, OverloadedClusterStillConserves) {
+  // 2 servers, demanding jobs: long queues are guaranteed; conservation and
+  // FCFS progress must still hold.
+  workload::GeneratorOptions g;
+  g.num_jobs = 400;
+  g.horizon_s = 400.0 * 2.0;
+  g.cpu_min = 0.2;
+  g.cpu_max = 0.6;
+  g.cpu_exp_mean = 0.2;
+  g.seed = GetParam();
+  auto jobs = workload::GoogleTraceGenerator(g).generate();
+
+  RandomPolicy alloc(GetParam());
+  sim::ImmediateSleepPolicy power;
+  sim::ClusterConfig cfg;
+  cfg.num_servers = 2;
+  sim::Cluster cluster(cfg, alloc, power);
+  cluster.load_jobs(std::move(jobs));
+  cluster.run();
+  EXPECT_EQ(cluster.metrics().jobs_completed(), 400u);
+  // With overload, mean latency must exceed mean duration (queueing found).
+  EXPECT_GT(cluster.metrics().latency_stats().mean(),
+            cluster.metrics().wait_stats().mean());
+  EXPECT_GT(cluster.metrics().wait_stats().max(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeavyLoadFuzz, testing::Values(2u, 4u, 6u));
+
+}  // namespace
+}  // namespace hcrl

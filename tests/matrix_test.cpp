@@ -1,0 +1,101 @@
+#include "src/nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hcrl::nn {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1 0 -1]^T = [-2, -2]
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  Vec y;
+  m.multiply({1.0, 0.0, -1.0}, y);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Matrix, MultiplyTransposedKnownValues) {
+  Matrix m(2, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  Vec y;
+  m.multiply_transposed({1.0, 1.0}, y);  // column sums
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_DOUBLE_EQ(y[2], 9.0);
+}
+
+TEST(Matrix, AddOuterAccumulates) {
+  Matrix m(2, 2, 1.0);
+  m.add_outer({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 9.0);
+}
+
+TEST(Matrix, ResizeReshapes) {
+  Matrix m(1, 1, 2.0);
+  m.resize(3, 4, 0.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_DOUBLE_EQ(m(2, 3), 0.5);
+}
+
+TEST(Matrix, SameShape) {
+  EXPECT_TRUE(Matrix(2, 3).same_shape(Matrix(2, 3)));
+  EXPECT_FALSE(Matrix(2, 3).same_shape(Matrix(3, 2)));
+}
+
+TEST(VecHelpers, AddAndAddInPlace) {
+  Vec a = {1.0, 2.0};
+  const Vec b = {3.0, -1.0};
+  const Vec c = add(a, b);
+  EXPECT_DOUBLE_EQ(c[0], 4.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  add_in_place(a, b);
+  EXPECT_DOUBLE_EQ(a[0], 4.0);
+}
+
+TEST(VecHelpers, ScaleDotNorm) {
+  Vec a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  scale_in_place(a, 2.0);
+  EXPECT_DOUBLE_EQ(a[1], 8.0);
+}
+
+TEST(VecHelpers, Concat) {
+  const Vec a = {1.0}, b = {2.0, 3.0}, c = {};
+  const Vec out = concat({&a, &b, &c});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+}
+
+TEST(VecHelpers, ArgmaxFirstOnTies) {
+  EXPECT_EQ(argmax({1.0, 5.0, 5.0, 2.0}), 1u);
+  EXPECT_EQ(argmax({-3.0}), 0u);
+  EXPECT_THROW(argmax({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hcrl::nn

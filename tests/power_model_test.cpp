@@ -1,0 +1,72 @@
+#include "src/sim/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hcrl::sim {
+namespace {
+
+TEST(PowerModel, EndpointsMatchEqnThree) {
+  // P(x) = P0 + (P1 - P0)(2x - x^1.4): P(0) = P0, P(1) = P1.
+  const PowerModel m;
+  EXPECT_DOUBLE_EQ(m.active_power(0.0), 87.0);
+  EXPECT_DOUBLE_EQ(m.active_power(1.0), 145.0);
+}
+
+TEST(PowerModel, MidpointMatchesClosedForm) {
+  const PowerModel m;
+  const double x = 0.5;
+  const double expected = 87.0 + (145.0 - 87.0) * (2.0 * x - std::pow(x, 1.4));
+  EXPECT_DOUBLE_EQ(m.active_power(x), expected);
+}
+
+TEST(PowerModel, ClampsUtilization) {
+  const PowerModel m;
+  EXPECT_DOUBLE_EQ(m.active_power(-0.5), m.active_power(0.0));
+  EXPECT_DOUBLE_EQ(m.active_power(1.5), m.active_power(1.0));
+}
+
+TEST(PowerModel, ValidateRejectsBadConfigs) {
+  PowerModel m;
+  m.idle_watts = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = PowerModel{};
+  m.peak_watts = 50.0;  // below idle
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = PowerModel{};
+  m.sleep_watts = -0.1;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = PowerModel{};
+  EXPECT_NO_THROW(m.validate());
+}
+
+// Property: the curve is monotonically increasing on [0, 1] and always
+// between idle and peak (2x - x^1.4 is increasing with range [0, 1]).
+class PowerCurve : public testing::TestWithParam<double> {};
+
+TEST_P(PowerCurve, MonotoneAndBounded) {
+  const PowerModel m;
+  const double x = GetParam();
+  const double p = m.active_power(x);
+  EXPECT_GE(p, m.idle_watts);
+  EXPECT_LE(p, m.peak_watts);
+  const double p_next = m.active_power(x + 0.01);
+  EXPECT_GE(p_next, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Utilizations, PowerCurve,
+                         testing::Values(0.0, 0.05, 0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 0.98));
+
+TEST(PowerModel, SuperlinearEarlyRise) {
+  // The Fan et al. curve rises fast at low utilization: P(0.2) is already
+  // ~30% of the way from idle to peak (2x - x^1.4 = 0.2948 at x = 0.2).
+  const PowerModel m;
+  const double frac = (m.active_power(0.2) - m.idle_watts) / (m.peak_watts - m.idle_watts);
+  EXPECT_NEAR(frac, 0.2948, 0.001);
+  EXPECT_GT(frac, 0.2);  // clearly superlinear versus the 0.2 a linear model gives
+}
+
+}  // namespace
+}  // namespace hcrl::sim

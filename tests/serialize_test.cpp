@@ -1,0 +1,90 @@
+#include "src/nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+#include "src/nn/init.hpp"
+#include "src/nn/network.hpp"
+
+namespace hcrl::nn {
+namespace {
+
+TEST(Serialize, RoundTripRestoresExactValues) {
+  common::Rng rng(1);
+  Network a;
+  a.add_dense(3, 4, Activation::kElu, rng);
+  a.add_dense(4, 2, Activation::kIdentity, rng);
+
+  std::stringstream buf;
+  save_params(buf, a.params());
+
+  Network b;
+  b.add_dense(3, 4, Activation::kElu, rng);
+  b.add_dense(4, 2, Activation::kIdentity, rng);
+  load_params(buf, b.params());
+
+  const Vec x = {0.3, -0.2, 0.8};
+  const Vec ya = a.predict(x);
+  const Vec yb = b.predict(x);
+  ASSERT_EQ(ya.size(), yb.size());
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_DOUBLE_EQ(ya[i], yb[i]);
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream buf("not-the-magic\n3\n1\n2\n3\n");
+  common::Rng rng(2);
+  Network net;
+  net.add_dense(1, 1, Activation::kIdentity, rng);
+  EXPECT_THROW(load_params(buf, net.params()), std::invalid_argument);
+}
+
+TEST(Serialize, SizeMismatchRejected) {
+  common::Rng rng(3);
+  Network small, big;
+  small.add_dense(1, 1, Activation::kIdentity, rng);
+  big.add_dense(2, 2, Activation::kIdentity, rng);
+  std::stringstream buf;
+  save_params(buf, small.params());
+  EXPECT_THROW(load_params(buf, big.params()), std::invalid_argument);
+}
+
+TEST(Serialize, TruncatedFileRejected) {
+  common::Rng rng(4);
+  Network net;
+  net.add_dense(2, 2, Activation::kIdentity, rng);
+  std::stringstream buf;
+  save_params(buf, net.params());
+  std::string text = buf.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_params(truncated, net.params()), std::invalid_argument);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  common::Rng rng(5);
+  Network net;
+  net.add_dense(2, 3, Activation::kTanh, rng);
+  const std::string path = testing::TempDir() + "/hcrl_params_test.txt";
+  save_params_file(path, net.params());
+
+  Network loaded;
+  loaded.add_dense(2, 3, Activation::kTanh, rng);
+  load_params_file(path, loaded.params());
+  const Vec x = {1.0, -1.0};
+  const Vec ya = net.predict(x);
+  const Vec yb = loaded.predict(x);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_DOUBLE_EQ(ya[i], yb[i]);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  common::Rng rng(6);
+  Network net;
+  net.add_dense(1, 1, Activation::kIdentity, rng);
+  EXPECT_THROW(load_params_file("/no/such/file", net.params()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hcrl::nn

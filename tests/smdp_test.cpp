@@ -1,0 +1,79 @@
+#include "src/rl/smdp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hcrl::rl {
+namespace {
+
+TEST(Smdp, DiscountBasics) {
+  EXPECT_DOUBLE_EQ(smdp_discount(0.5, 0.0), 1.0);
+  EXPECT_NEAR(smdp_discount(0.5, 2.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(smdp_discount(1.0, 100.0), 0.0, 1e-12);
+}
+
+TEST(Smdp, RewardWeightLimits) {
+  // tau -> 0: weight -> 0 (no time to accumulate reward).
+  EXPECT_DOUBLE_EQ(smdp_reward_weight(0.5, 0.0), 0.0);
+  // tau -> inf: weight -> 1/beta (full discounted mass).
+  EXPECT_NEAR(smdp_reward_weight(0.5, 1000.0), 2.0, 1e-9);
+  // Small beta*tau: weight ~ tau (numerically stable via expm1).
+  EXPECT_NEAR(smdp_reward_weight(1e-9, 1.0), 1.0, 1e-6);
+}
+
+TEST(Smdp, RewardWeightMatchesClosedForm) {
+  for (double beta : {0.01, 0.1, 0.5, 2.0}) {
+    for (double tau : {0.1, 1.0, 7.3, 42.0}) {
+      EXPECT_NEAR(smdp_reward_weight(beta, tau), (1.0 - std::exp(-beta * tau)) / beta, 1e-12);
+    }
+  }
+}
+
+TEST(Smdp, TargetComposition) {
+  // target = weight * r + discount * next.
+  const double beta = 0.5, tau = 2.0, r = -3.0, next = 10.0;
+  const double expected =
+      (1.0 - std::exp(-1.0)) / 0.5 * r + std::exp(-1.0) * next;
+  EXPECT_NEAR(smdp_target(r, tau, beta, next), expected, 1e-12);
+}
+
+TEST(Smdp, TargetDegeneratesToNextValueAtZeroTau) {
+  EXPECT_DOUBLE_EQ(smdp_target(-100.0, 0.0, 0.5, 7.0), 7.0);
+}
+
+TEST(Smdp, TargetIgnoresNextValueAtLargeTau) {
+  EXPECT_NEAR(smdp_target(-1.0, 1e6, 0.5, 1e9), -2.0, 1e-3);
+}
+
+TEST(Smdp, InvalidArgumentsThrow) {
+  EXPECT_THROW(smdp_discount(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(smdp_discount(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(smdp_discount(0.5, -1.0), std::invalid_argument);
+  EXPECT_THROW(smdp_reward_weight(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(smdp_reward_weight(0.5, -1.0), std::invalid_argument);
+}
+
+// Property sweep: the weight is increasing in tau and the discount
+// decreasing; together they conserve: weight * beta + discount == 1.
+class SmdpProperty : public testing::TestWithParam<double> {};
+
+TEST_P(SmdpProperty, WeightAndDiscountAreComplementary) {
+  const double beta = GetParam();
+  double prev_weight = -1.0, prev_discount = 2.0;
+  for (double tau : {0.0, 0.5, 1.0, 5.0, 20.0, 100.0}) {
+    const double w = smdp_reward_weight(beta, tau);
+    const double d = smdp_discount(beta, tau);
+    EXPECT_NEAR(w * beta + d, 1.0, 1e-12);
+    EXPECT_GE(w, prev_weight);
+    EXPECT_LE(d, prev_discount);
+    prev_weight = w;
+    prev_discount = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, SmdpProperty, testing::Values(0.005, 0.05, 0.5, 1.0, 3.0));
+
+}  // namespace
+}  // namespace hcrl::rl

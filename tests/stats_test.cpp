@@ -1,0 +1,174 @@
+#include "src/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace hcrl::common {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  const std::vector<double> xs = {1.0, -2.0, 3.5, 0.25, 10.0, -7.0};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 3 ? a : b).add(xs[i]);
+    all.add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(TimeWeightedValue, ConstantSignalIntegral) {
+  TimeWeightedValue v;
+  v.set(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(v.integral(10.0), 50.0);
+  EXPECT_DOUBLE_EQ(v.time_average(10.0), 5.0);
+}
+
+TEST(TimeWeightedValue, PiecewiseIntegralIsExact) {
+  TimeWeightedValue v;
+  v.set(0.0, 1.0);
+  v.set(2.0, 3.0);   // [0,2) at 1 -> 2
+  v.set(5.0, 0.0);   // [2,5) at 3 -> 9
+  EXPECT_DOUBLE_EQ(v.integral(5.0), 11.0);
+  EXPECT_DOUBLE_EQ(v.integral(8.0), 11.0);  // zero afterwards
+  EXPECT_DOUBLE_EQ(v.time_average(8.0), 11.0 / 8.0);
+}
+
+TEST(TimeWeightedValue, NonZeroStartTime) {
+  TimeWeightedValue v;
+  v.set(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(v.integral(15.0), 10.0);
+  EXPECT_DOUBLE_EQ(v.time_average(15.0), 2.0);
+  EXPECT_DOUBLE_EQ(v.start_time(), 10.0);
+}
+
+TEST(TimeWeightedValue, RepeatedSetAtSameTime) {
+  TimeWeightedValue v;
+  v.set(0.0, 1.0);
+  v.set(1.0, 2.0);
+  v.set(1.0, 5.0);  // replaces the value with zero elapsed time
+  EXPECT_DOUBLE_EQ(v.integral(2.0), 1.0 + 5.0);
+}
+
+TEST(TimeWeightedValue, ThrowsOnBackwardsTime) {
+  TimeWeightedValue v;
+  v.set(5.0, 1.0);
+  EXPECT_THROW(v.set(4.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(v.integral(4.0), std::invalid_argument);
+}
+
+TEST(TimeWeightedValue, EmptyBehaviour) {
+  TimeWeightedValue v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_DOUBLE_EQ(v.integral(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(v.time_average(100.0), 0.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-5.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, QuantileOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileOfEmptyThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.quantile(0.5), std::invalid_argument);
+}
+
+TEST(Ema, FirstSampleSeeds) {
+  Ema e(0.5);
+  EXPECT_FALSE(e.seeded());
+  e.add(10.0);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ema, BlendsTowardNewValues) {
+  Ema e(0.5);
+  e.add(0.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+}  // namespace
+}  // namespace hcrl::common

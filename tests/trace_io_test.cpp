@@ -1,0 +1,105 @@
+#include "src/workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/workload/generator.hpp"
+
+namespace hcrl::workload {
+namespace {
+
+std::vector<sim::Job> sample_jobs() {
+  std::vector<sim::Job> jobs;
+  for (int i = 0; i < 5; ++i) {
+    sim::Job j;
+    j.id = i;
+    j.arrival = i * 3.25;
+    j.duration = 60.0 + i;
+    j.demand = sim::ResourceVector{0.1 + 0.01 * i, 0.2, 0.05};
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+TEST(TraceIo, RoundTripPreservesValues) {
+  const auto jobs = sample_jobs();
+  std::stringstream buf;
+  write_trace(buf, jobs);
+  const auto loaded = read_trace(buf);
+  ASSERT_EQ(loaded.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, jobs[i].id);
+    EXPECT_DOUBLE_EQ(loaded[i].arrival, jobs[i].arrival);
+    EXPECT_DOUBLE_EQ(loaded[i].duration, jobs[i].duration);
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_DOUBLE_EQ(loaded[i].demand[d], jobs[i].demand[d]);
+    }
+  }
+}
+
+TEST(TraceIo, HeaderIsWritten) {
+  std::stringstream buf;
+  write_trace(buf, sample_jobs());
+  std::string header;
+  std::getline(buf, header);
+  EXPECT_EQ(header, "id,arrival,duration,cpu,memory,disk");
+}
+
+TEST(TraceIo, EmptyInputRejected) {
+  std::stringstream buf("");
+  EXPECT_THROW(read_trace(buf), std::invalid_argument);
+}
+
+TEST(TraceIo, BadHeaderRejected) {
+  std::stringstream buf("foo,bar,baz,qux\n");
+  EXPECT_THROW(read_trace(buf), std::invalid_argument);
+}
+
+TEST(TraceIo, WrongColumnCountRejected) {
+  std::stringstream buf("id,arrival,duration,cpu\n1,0.0,60.0\n");
+  EXPECT_THROW(read_trace(buf), std::invalid_argument);
+}
+
+TEST(TraceIo, NonNumericFieldRejected) {
+  std::stringstream buf("id,arrival,duration,cpu\n1,zero,60.0,0.1\n");
+  EXPECT_THROW(read_trace(buf), std::invalid_argument);
+}
+
+TEST(TraceIo, UnsortedArrivalsRejected) {
+  std::stringstream buf("id,arrival,duration,cpu\n1,10.0,60.0,0.1\n2,5.0,60.0,0.1\n");
+  EXPECT_THROW(read_trace(buf), std::invalid_argument);
+}
+
+TEST(TraceIo, InvalidJobFieldsRejected) {
+  std::stringstream buf("id,arrival,duration,cpu\n1,0.0,0.0,0.1\n");  // duration 0
+  EXPECT_THROW(read_trace(buf), std::invalid_argument);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/hcrl_trace_test.csv";
+  write_trace_file(path, sample_jobs());
+  const auto loaded = read_trace_file(path);
+  EXPECT_EQ(loaded.size(), 5u);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/no/such/trace.csv"), std::runtime_error);
+}
+
+TEST(TraceIo, GeneratedTraceRoundTrips) {
+  GeneratorOptions o;
+  o.num_jobs = 500;
+  o.horizon_s = 36000.0;
+  const auto jobs = GoogleTraceGenerator(o).generate();
+  std::stringstream buf;
+  write_trace(buf, jobs);
+  const auto loaded = read_trace(buf);
+  ASSERT_EQ(loaded.size(), jobs.size());
+  EXPECT_DOUBLE_EQ(loaded[250].arrival, jobs[250].arrival);
+  EXPECT_DOUBLE_EQ(loaded[250].demand[2], jobs[250].demand[2]);
+}
+
+}  // namespace
+}  // namespace hcrl::workload

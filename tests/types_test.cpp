@@ -1,0 +1,104 @@
+#include "src/sim/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hcrl::sim {
+namespace {
+
+TEST(ResourceVector, ConstructionVariants) {
+  ResourceVector a(3, 0.5);
+  EXPECT_EQ(a.dims(), 3u);
+  EXPECT_DOUBLE_EQ(a[2], 0.5);
+  ResourceVector b{0.1, 0.2};
+  EXPECT_EQ(b.dims(), 2u);
+  EXPECT_DOUBLE_EQ(b[1], 0.2);
+}
+
+TEST(ResourceVector, AddSubtractRoundTrip) {
+  ResourceVector a{0.5, 0.6, 0.7};
+  const ResourceVector b{0.1, 0.2, 0.3};
+  a.add(b);
+  EXPECT_DOUBLE_EQ(a[0], 0.6);
+  a.subtract(b);
+  EXPECT_NEAR(a[0], 0.5, 1e-12);
+  EXPECT_NEAR(a[2], 0.7, 1e-12);
+}
+
+TEST(ResourceVector, DimMismatchThrows) {
+  ResourceVector a(3);
+  const ResourceVector b(2);
+  EXPECT_THROW(a.add(b), std::invalid_argument);
+  EXPECT_THROW(a.subtract(b), std::invalid_argument);
+  EXPECT_THROW(a.fits(b), std::invalid_argument);
+}
+
+TEST(ResourceVector, FitsIsComponentwise) {
+  const ResourceVector cap{0.5, 0.5};
+  EXPECT_TRUE(cap.fits({0.5, 0.4}));
+  EXPECT_FALSE(cap.fits({0.51, 0.1}));
+  EXPECT_FALSE(cap.fits({0.1, 0.6}));
+}
+
+TEST(ResourceVector, FitsToleratesFloatNoise) {
+  ResourceVector cap{1.0, 1.0};
+  // Simulate accumulated noise from add/subtract cycles.
+  cap.subtract({1e-12, 0.0});
+  EXPECT_TRUE(cap.fits({1.0, 1.0}));
+}
+
+TEST(ResourceVector, MaxComponentAndClamp) {
+  ResourceVector v{0.2, -0.1, 1.4};
+  EXPECT_DOUBLE_EQ(v.max_component(), 1.4);
+  v.clamp(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+TEST(ResourceVector, ToStringMentionsAllComponents) {
+  const ResourceVector v{0.25, 0.75};
+  const std::string s = v.to_string();
+  EXPECT_NE(s.find("0.25"), std::string::npos);
+  EXPECT_NE(s.find("0.75"), std::string::npos);
+}
+
+TEST(Job, ValidationRules) {
+  Job j;
+  j.id = 1;
+  j.arrival = 10.0;
+  j.duration = 60.0;
+  j.demand = ResourceVector{0.1, 0.2, 0.3};
+  EXPECT_NO_THROW(j.validate(3));
+  EXPECT_THROW(j.validate(2), std::invalid_argument);  // wrong dims
+
+  Job bad = j;
+  bad.duration = 0.0;
+  EXPECT_THROW(bad.validate(3), std::invalid_argument);
+  bad = j;
+  bad.arrival = -1.0;
+  EXPECT_THROW(bad.validate(3), std::invalid_argument);
+  bad = j;
+  bad.demand[1] = 1.5;
+  EXPECT_THROW(bad.validate(3), std::invalid_argument);
+  bad = j;
+  bad.demand[0] = -0.1;
+  EXPECT_THROW(bad.validate(3), std::invalid_argument);
+}
+
+TEST(JobRecord, LatencyAndWait) {
+  JobRecord r;
+  r.arrival = 10.0;
+  r.start = 25.0;
+  r.finish = 85.0;
+  EXPECT_DOUBLE_EQ(r.latency(), 75.0);
+  EXPECT_DOUBLE_EQ(r.wait(), 15.0);
+}
+
+TEST(TimeConstants, AreConsistent) {
+  EXPECT_DOUBLE_EQ(kSecondsPerDay, 24.0 * kSecondsPerHour);
+  EXPECT_DOUBLE_EQ(kSecondsPerWeek, 7.0 * kSecondsPerDay);
+}
+
+}  // namespace
+}  // namespace hcrl::sim
