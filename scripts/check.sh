@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# One-shot tier-1 verify: configure, build, and run the full test suite.
+# Mirrors ROADMAP.md's verify line exactly:
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

@@ -1,5 +1,11 @@
 #include "src/workload/arrival_process.hpp"
 
+// Before any standard headers: on an old toolchain <numbers> may not even
+// exist, and the include error would otherwise mask this actionable message.
+#if __cplusplus < 202002L
+#error "hcrl requires C++20 (std::numbers). Configure with -DCMAKE_CXX_STANDARD=20 or use the repo's CMakeLists.txt, which pins cxx_std_20."
+#endif
+
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
