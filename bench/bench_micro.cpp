@@ -7,6 +7,7 @@
 #include "src/core/state.hpp"
 #include "src/nn/init.hpp"
 #include "src/nn/lstm.hpp"
+#include "src/rl/dqn.hpp"
 #include "src/rl/smdp.hpp"
 #include "src/rl/tabular_q.hpp"
 #include "src/sim/cluster.hpp"
@@ -27,6 +28,113 @@ void BM_MatrixVectorMultiply(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n));
 }
 BENCHMARK(BM_MatrixVectorMultiply)->Arg(32)->Arg(128)->Arg(512);
+
+// Single-sample loop vs one GEMM over the stacked batch: the core of the
+// batched NN path. Items processed = multiply-accumulates, so the two
+// counters are directly comparable.
+void BM_MatrixVectorLoop_vs_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  common::Rng rng(3);
+  nn::Matrix w(n, n);
+  for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = rng.uniform(-1.0, 1.0);
+  nn::Vec x(n, 0.5), y;
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      w.multiply(x, y);
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * n * n));
+}
+BENCHMARK(BM_MatrixVectorLoop_vs_Gemm)->Args({128, 32})->Args({512, 32});
+
+void BM_GemmBatched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  common::Rng rng(3);
+  nn::Matrix w(n, n);
+  for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = rng.uniform(-1.0, 1.0);
+  nn::Matrix X(batch, n, 0.5), Y;
+  for (auto _ : state) {
+    nn::gemm_nt(X, w, Y);  // Y = X W^T: the batched Dense forward kernel
+    benchmark::DoNotOptimize(Y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * n * n));
+}
+BENCHMARK(BM_GemmBatched)->Args({128, 32})->Args({512, 32});
+
+// The acceptance benchmark for the batched path: one DQN SGD step on a
+// 32-transition minibatch, per-sample loop vs batched GEMM path.
+void run_dqn_train_step(benchmark::State& state, bool batched) {
+  common::Rng rng(11);
+  rl::DqnAgent::Options o;
+  o.hidden_dims = {128};
+  o.batch_size = 32;
+  o.min_replay_before_training = 64;
+  o.train_interval = 1000000;  // train explicitly, not inside observe()
+  o.target_sync_interval = 1000000;
+  o.batched_train = batched;
+  const std::size_t state_dim = 24, n_actions = 30;
+  rl::DqnAgent agent(state_dim, n_actions, o, rng);
+  common::Rng data(12);
+  for (int i = 0; i < 256; ++i) {
+    rl::Transition t;
+    t.state.resize(state_dim);
+    t.next_state.resize(state_dim);
+    for (auto& v : t.state) v = data.uniform(-1.0, 1.0);
+    for (auto& v : t.next_state) v = data.uniform(-1.0, 1.0);
+    t.action = static_cast<std::size_t>(
+        data.uniform_int(0, static_cast<std::int64_t>(n_actions) - 1));
+    t.reward_rate = -1.0;
+    t.tau = 1.0;
+    agent.observe(std::move(t));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.train_step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+
+void BM_DqnTrainStepPerSample(benchmark::State& state) { run_dqn_train_step(state, false); }
+BENCHMARK(BM_DqnTrainStepPerSample);
+
+void BM_DqnTrainStepBatched(benchmark::State& state) { run_dqn_train_step(state, true); }
+BENCHMARK(BM_DqnTrainStepBatched);
+
+// Batched LSTM sweep vs running the same windows one at a time — the
+// predictor's multi-window prediction path.
+void BM_LstmWindowSweep(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const std::size_t lookback = 35, hidden = 30;  // paper's predictor shape
+  common::Rng rng(4);
+  auto params = std::make_shared<nn::LstmParams>(hidden, 1);
+  nn::init_lstm(*params, rng);
+  nn::Lstm lstm(params);
+  std::vector<nn::Matrix> xs;
+  for (std::size_t t = 0; t < lookback; ++t) {
+    nn::Matrix x(batch, 1);
+    for (std::size_t b = 0; b < batch; ++b) x(b, 0) = rng.uniform();
+    xs.push_back(x);
+  }
+  for (auto _ : state) {
+    if (batch == 1) {
+      // per-sample: each window walked separately
+      for (std::size_t w = 0; w < 8; ++w) {
+        lstm.reset();
+        for (const auto& x : xs) benchmark::DoNotOptimize(lstm.step({x(0, 0)}).data());
+      }
+    } else {
+      lstm.reset_batch(batch);
+      for (const auto& x : xs) benchmark::DoNotOptimize(lstm.step_batch(x).data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lookback * (batch == 1 ? 8 : batch)));
+}
+BENCHMARK(BM_LstmWindowSweep)->Arg(1)->Arg(8);
 
 void BM_GroupedQInference(benchmark::State& state) {
   common::Rng rng(1);

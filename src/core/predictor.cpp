@@ -168,7 +168,8 @@ void LstmPredictor::observe(double interarrival_s) {
   }
 }
 
-double LstmPredictor::forward_window(std::size_t begin, std::size_t len, bool keep_caches) {
+double LstmPredictor::forward_window(std::size_t begin, std::size_t len) {
+  // Training forward: per-sample (batch = 1) path, caches kept for BPTT.
   lstm_->reset();
   nn::Vec h;
   for (std::size_t i = 0; i < len; ++i) {
@@ -176,19 +177,35 @@ double LstmPredictor::forward_window(std::size_t begin, std::size_t len, bool ke
     h = lstm_->step(x);
   }
   const nn::Vec y = output_layer_.forward(h);
-  if (!keep_caches) {
-    input_layer_.clear_cache();
-    output_layer_.clear_cache();
-    lstm_->reset();
-  }
   return y[0];
 }
 
 double LstmPredictor::predict() {
   if (history_.size() < opts_.lookback) return opts_.prior_s;
-  const std::size_t begin = history_.size() - opts_.lookback;
-  const double z = forward_window(begin, opts_.lookback, /*keep_caches=*/false);
-  return denormalize(z);
+  // Batch-of-one window through the batched sweep: same kernels, same result.
+  return predict_windows({history_.size()}).front();
+}
+
+std::vector<double> LstmPredictor::predict_windows(const std::vector<std::size_t>& ends) {
+  if (ends.empty()) return {};
+  for (const std::size_t end : ends) {
+    if (end > history_.size() || end < opts_.lookback) {
+      throw std::invalid_argument("LstmPredictor::predict_windows: bad window end");
+    }
+  }
+  const std::size_t W = ends.size();
+  lstm_->reset_batch(W);
+  nn::Matrix h;
+  for (std::size_t i = 0; i < opts_.lookback; ++i) {
+    nn::Matrix raw(W, 1);
+    for (std::size_t w = 0; w < W; ++w) raw(w, 0) = history_[ends[w] - opts_.lookback + i];
+    h = lstm_->step_batch(input_layer_.predict_batch(raw), /*keep_cache=*/false);
+  }
+  const nn::Matrix y = output_layer_.predict_batch(h);
+  lstm_->reset();  // back to per-sample state for train_window
+  std::vector<double> out(W);
+  for (std::size_t w = 0; w < W; ++w) out[w] = denormalize(y(w, 0));
+  return out;
 }
 
 double LstmPredictor::train_window(std::size_t end) {
@@ -196,7 +213,7 @@ double LstmPredictor::train_window(std::size_t end) {
     throw std::invalid_argument("LstmPredictor::train_window: bad window end");
   }
   const std::size_t begin = end - opts_.lookback;
-  const double pred = forward_window(begin, opts_.lookback, /*keep_caches=*/true);
+  const double pred = forward_window(begin, opts_.lookback);
   const double target = history_[end];
 
   optimizer_->zero_grad();
@@ -208,7 +225,8 @@ double LstmPredictor::train_window(std::size_t end) {
   dh_list.back() = dh;
   std::vector<nn::Vec> dx = lstm_->backward(dh_list);
   for (std::size_t i = dx.size(); i-- > 0;) {
-    input_layer_.backward(dx[i]);  // LIFO: reverse order of the forwards
+    // LIFO: reverse order of the forwards; the raw-input gradient is unused.
+    input_layer_.backward(dx[i], /*want_input_grad=*/false);
   }
   nn::clip_grad_norm(all_params_, opts_.grad_clip);
   optimizer_->step();

@@ -116,6 +116,13 @@ class LstmPredictor final : public WorkloadPredictor {
   double predict() override;
   std::string name() const override { return "lstm"; }
 
+  /// Batched multi-window prediction: window w feeds the `lookback` history
+  /// values before position ends[w] through one stacked LSTM sweep (batch =
+  /// ends.size(), one GEMM per timestep) and returns the denormalized
+  /// next-value prediction per window. ends[w] = history size predicts the
+  /// live next inter-arrival; smaller ends backtest past positions.
+  std::vector<double> predict_windows(const std::vector<std::size_t>& ends);
+
   /// One supervised BPTT step on a window ending at history position `end`
   /// (predicts history[end] from the `lookback` values before it).
   /// Returns the squared error. Exposed for tests and offline pretraining.
@@ -130,7 +137,7 @@ class LstmPredictor final : public WorkloadPredictor {
   double denormalize(double z) const;
 
  private:
-  double forward_window(std::size_t begin, std::size_t len, bool keep_caches);
+  double forward_window(std::size_t begin, std::size_t len);
   void train_round();
 
   LstmPredictorOptions opts_;

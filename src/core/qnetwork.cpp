@@ -70,32 +70,47 @@ nn::Vec GroupedQNetwork::slice_job(const nn::Vec& full_state) const {
                  full_state.end());
 }
 
+nn::Matrix GroupedQNetwork::group_matrix(const nn::Vec& full_state) const {
+  const auto& enc = opts_.encoder;
+  nn::Matrix groups;
+  groups.resize_for_overwrite(enc.num_groups, enc.group_state_dim());
+  for (std::size_t k = 0; k < enc.num_groups; ++k) {
+    groups.set_row(k, slice_group(full_state, k));
+  }
+  return groups;
+}
+
 nn::Vec GroupedQNetwork::head_input(const nn::Vec& full_state, std::size_t group,
-                                    const std::vector<nn::Vec>& codes) const {
+                                    const nn::Matrix& codes, std::size_t code_row0) const {
   nn::Vec input;
   input.reserve(head_input_dim_);
   nn::Vec g = slice_group(full_state, group);
   input.insert(input.end(), g.begin(), g.end());
   nn::Vec j = slice_job(full_state);
   input.insert(input.end(), j.begin(), j.end());
-  for (std::size_t k = 0; k < codes.size(); ++k) {
+  for (std::size_t k = 0; k < opts_.encoder.num_groups; ++k) {
     if (k == group) continue;
-    input.insert(input.end(), codes[k].begin(), codes[k].end());
+    const double* code = codes.data() + (code_row0 + k) * codes.cols();
+    input.insert(input.end(), code, code + codes.cols());
   }
   return input;
 }
 
 nn::Vec GroupedQNetwork::q_values_with(nn::Network& subq, const nn::Vec& full_state) {
   const auto& enc = opts_.encoder;
-  std::vector<nn::Vec> codes(enc.num_groups);
+  // One batched sweep for the K autoencoder encodes and one for the K Sub-Q
+  // head forwards, instead of 2K per-sample network walks.
+  const nn::Matrix codes = autoencoder_->encode_batch(group_matrix(full_state));
+  nn::Matrix heads;
+  heads.resize_for_overwrite(enc.num_groups, head_input_dim_);
   for (std::size_t k = 0; k < enc.num_groups; ++k) {
-    codes[k] = autoencoder_->encode(slice_group(full_state, k));
+    heads.set_row(k, head_input(full_state, k, codes));
   }
+  const nn::Matrix head_q = subq.predict_batch(heads);
   nn::Vec q;
   q.reserve(num_actions());
   for (std::size_t k = 0; k < enc.num_groups; ++k) {
-    nn::Vec head_q = subq.predict(head_input(full_state, k, codes));
-    q.insert(q.end(), head_q.begin(), head_q.end());
+    for (std::size_t a = 0; a < enc.group_size(); ++a) q.push_back(head_q(k, a));
   }
   return q;
 }
@@ -112,39 +127,85 @@ double GroupedQNetwork::train_batch(const std::vector<const rl::Transition*>& ba
                                     double beta) {
   if (batch.empty()) throw std::invalid_argument("GroupedQNetwork::train_batch: empty batch");
   const auto& enc = opts_.encoder;
+  const std::size_t n = batch.size();
+  const std::size_t K = enc.num_groups;
   optimizer_->zero_grad();
-  double total_loss = 0.0;
-  const double inv_n = 1.0 / static_cast<double>(batch.size());
 
-  for (const rl::Transition* t : batch) {
-    nn::Vec next_q = q_values_target(t->next_state);
+  // Bootstrap-target sweep, batched across the whole minibatch: all n*K
+  // next-state group encodes in one autoencoder pass, then all n*K Sub-Q
+  // head forwards in one target-network pass (two when double Q-learning
+  // also needs the online network's argmax).
+  nn::Matrix next_groups;
+  next_groups.resize_for_overwrite(n * K, enc.group_state_dim());
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t k = 0; k < K; ++k) {
+      next_groups.set_row(b * K + k, slice_group(batch[b]->next_state, k));
+    }
+  }
+  const nn::Matrix next_codes = autoencoder_->encode_batch(std::move(next_groups));
+  nn::Matrix next_heads;
+  next_heads.resize_for_overwrite(n * K, head_input_dim_);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t k = 0; k < K; ++k) {
+      next_heads.set_row(b * K + k, head_input(batch[b]->next_state, k, next_codes, b * K));
+    }
+  }
+  nn::Matrix next_q_online;
+  if (opts_.double_q) next_q_online = online_subq_->predict_batch(next_heads);
+  const nn::Matrix next_q = target_subq_->predict_batch(std::move(next_heads));
+
+  nn::Vec targets(n);
+  std::vector<std::size_t> locals(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    // Reassemble this transition's K*group_size Q-vector from its K rows.
+    nn::Vec q_next;
+    q_next.reserve(num_actions());
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t a = 0; a < enc.group_size(); ++a) q_next.push_back(next_q(b * K + k, a));
+    }
     double best_next;
     if (opts_.double_q) {
-      best_next = next_q[nn::argmax(q_values(t->next_state))];
+      nn::Vec q_online;
+      q_online.reserve(num_actions());
+      for (std::size_t k = 0; k < K; ++k) {
+        for (std::size_t a = 0; a < enc.group_size(); ++a) {
+          q_online.push_back(next_q_online(b * K + k, a));
+        }
+      }
+      best_next = q_next[nn::argmax(q_online)];
     } else {
-      best_next = next_q[nn::argmax(next_q)];
+      best_next = q_next[nn::argmax(q_next)];
     }
-    const double target = rl::smdp_target(t->reward_rate, t->tau, beta, best_next);
-
-    // Only the head owning the chosen action receives gradient; weight
-    // sharing means this still trains the one physical Sub-Q network.
-    const std::size_t group = t->action / enc.group_size();
-    const std::size_t local = t->action % enc.group_size();
-
-    std::vector<nn::Vec> codes(enc.num_groups);
-    for (std::size_t k = 0; k < enc.num_groups; ++k) {
-      if (k == group) continue;
-      codes[k] = autoencoder_->encode(slice_group(t->state, k));
-    }
-    nn::Vec pred = online_subq_->forward(head_input(t->state, group, codes));
-    nn::LossResult loss = nn::masked_huber_loss(pred, local, target, /*delta=*/1.0);
-    total_loss += loss.value;
-    nn::scale_in_place(loss.grad, inv_n);
-    online_subq_->backward(loss.grad);
+    targets[b] = rl::smdp_target(batch[b]->reward_rate, batch[b]->tau, beta, best_next);
+    locals[b] = batch[b]->action % enc.group_size();
   }
+
+  // Online pass: only the head owning each chosen action receives gradient;
+  // weight sharing means the n rows still train the one physical Sub-Q
+  // network, and the per-sample gradient sum folds into the backward GEMMs.
+  nn::Matrix state_groups;
+  state_groups.resize_for_overwrite(n * K, enc.group_state_dim());
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t k = 0; k < K; ++k) {
+      state_groups.set_row(b * K + k, slice_group(batch[b]->state, k));
+    }
+  }
+  const nn::Matrix state_codes = autoencoder_->encode_batch(std::move(state_groups));
+  nn::Matrix pred_heads;
+  pred_heads.resize_for_overwrite(n, head_input_dim_);
+  for (std::size_t b = 0; b < n; ++b) {
+    const std::size_t group = batch[b]->action / enc.group_size();
+    pred_heads.set_row(b, head_input(batch[b]->state, group, state_codes, b * K));
+  }
+  const nn::Matrix pred = online_subq_->forward_batch(std::move(pred_heads));
+  const double inv_n = 1.0 / static_cast<double>(n);
+  nn::BatchLossResult loss =
+      nn::masked_huber_loss_batch(pred, locals, targets, /*delta=*/1.0, inv_n);
+  online_subq_->backward_batch(loss.grad, /*want_input_grad=*/false);
+
   nn::clip_grad_norm(online_subq_->params(), opts_.grad_clip);
   optimizer_->step();
-  return total_loss * inv_n;
+  return loss.value * inv_n;
 }
 
 std::vector<nn::ParamBlockPtr> GroupedQNetwork::trainable_params() const {

@@ -83,9 +83,12 @@ class GroupedQNetwork {
   nn::Network build_subq(common::Rng& rng) const;
   /// Q-values with an explicit Sub-Q network (shared by online/target paths).
   nn::Vec q_values_with(nn::Network& subq, const nn::Vec& full_state);
-  /// Input of head `group`: [g_k, s_j, codes of other groups].
-  nn::Vec head_input(const nn::Vec& full_state, std::size_t group,
-                     const std::vector<nn::Vec>& codes) const;
+  /// All K group slices of `full_state` stacked as a (K x group_dim) matrix.
+  nn::Matrix group_matrix(const nn::Vec& full_state) const;
+  /// Input of head `group`: [g_k, s_j, codes of other groups]. `codes` holds
+  /// one code per row; row `code_row0 + k` is group k's code.
+  nn::Vec head_input(const nn::Vec& full_state, std::size_t group, const nn::Matrix& codes,
+                     std::size_t code_row0 = 0) const;
 
   GroupedQOptions opts_;
   std::size_t head_input_dim_ = 0;

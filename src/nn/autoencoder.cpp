@@ -33,6 +33,13 @@ Autoencoder::Autoencoder(std::size_t input_dim, const Options& opts, common::Rng
 
 Vec Autoencoder::encode(const Vec& x) { return encoder_.predict(x); }
 
+Matrix Autoencoder::encode_batch(Matrix X) {
+  if (X.cols() != input_dim_) {
+    throw std::invalid_argument("Autoencoder::encode_batch: input is " + X.shape_string());
+  }
+  return encoder_.predict_batch(std::move(X));
+}
+
 Vec Autoencoder::encode_training(const Vec& x) { return encoder_.forward(x); }
 
 Vec Autoencoder::backward_through_encoder(const Vec& dcode) { return encoder_.backward(dcode); }
@@ -44,24 +51,24 @@ Vec Autoencoder::reconstruct(const Vec& x) {
 
 double Autoencoder::train_batch(const std::vector<Vec>& batch) {
   if (batch.empty()) throw std::invalid_argument("Autoencoder::train_batch: empty batch");
-  optimizer_->zero_grad();
-  double total = 0.0;
-  const double inv_n = 1.0 / static_cast<double>(batch.size());
   for (const Vec& x : batch) {
     if (x.size() != input_dim_) {
       throw std::invalid_argument("Autoencoder::train_batch: bad sample dimension");
     }
-    Vec code = encoder_.forward(x);
-    Vec recon = decoder_.forward(code);
-    LossResult loss = mse_loss(recon, x);
-    total += loss.value;
-    scale_in_place(loss.grad, inv_n);
-    Vec dcode = decoder_.backward(loss.grad);
-    encoder_.backward(dcode);
   }
+  optimizer_->zero_grad();
+  // One batched reconstruction pass: per-sample gradient accumulation folds
+  // into the GEMMs of the backward sweep.
+  const Matrix X = Matrix::from_rows(batch);
+  const double inv_n = 1.0 / static_cast<double>(batch.size());
+  Matrix code = encoder_.forward_batch(X);
+  Matrix recon = decoder_.forward_batch(code);
+  BatchLossResult loss = mse_loss_batch(recon, X, inv_n);
+  Matrix dcode = decoder_.backward_batch(loss.grad);
+  encoder_.backward_batch(dcode, /*want_input_grad=*/false);
   clip_grad_norm(params(), grad_clip_);
   optimizer_->step();
-  return total * inv_n;
+  return loss.value * inv_n;
 }
 
 std::vector<ParamBlockPtr> Autoencoder::params() const {

@@ -30,6 +30,8 @@ class Autoencoder {
 
   /// Encode without caching (inference).
   Vec encode(const Vec& x);
+  /// Encode a (batch x input_dim) matrix of samples in one GEMM sweep.
+  Matrix encode_batch(Matrix X);
   /// Encode, keeping caches so that a later backward_through_encoder() can
   /// propagate downstream gradients into the encoder weights.
   Vec encode_training(const Vec& x);

@@ -6,29 +6,38 @@
 
 namespace hcrl::nn {
 
+Vec Layer::forward(const Vec& x) { return forward_batch(Matrix::from_row(x)).row(0); }
+
+Vec Layer::backward(const Vec& dy) { return backward_batch(Matrix::from_row(dy)).row(0); }
+
 Dense::Dense(DenseParamsPtr params) : params_(std::move(params)) {
   if (!params_) throw std::invalid_argument("Dense: null params");
 }
 
-Vec Dense::forward(const Vec& x) {
-  assert(x.size() == params_->in_dim());
-  Vec y;
-  params_->W.multiply(x, y);
-  add_in_place(y, params_->b);
-  inputs_.push_back(x);
-  return y;
+Matrix Dense::forward_batch(Matrix X, bool keep_cache) {
+  assert(X.cols() == params_->in_dim());
+  // Seed every row with the bias, then accumulate X W^T on top in one GEMM
+  // for the whole batch — one write pass over Y instead of a separate
+  // broadcast-add pass (addition commutes, so the rounding is unchanged).
+  Matrix Y;
+  Y.resize_for_overwrite(X.rows(), params_->out_dim());
+  for (std::size_t r = 0; r < Y.rows(); ++r) Y.set_row(r, params_->b);
+  gemm_nt(X, params_->W, Y, /*accumulate=*/true);
+  if (keep_cache) inputs_.push_back(std::move(X));
+  return Y;
 }
 
-Vec Dense::backward(const Vec& dy) {
+Matrix Dense::backward_batch(const Matrix& dY, bool want_input_grad) {
   if (inputs_.empty()) throw std::logic_error("Dense::backward without forward");
-  assert(dy.size() == params_->out_dim());
-  const Vec x = std::move(inputs_.back());
+  assert(dY.cols() == params_->out_dim());
+  const Matrix X = std::move(inputs_.back());
   inputs_.pop_back();
-  params_->gW.add_outer(dy, x);
-  add_in_place(params_->gb, dy);
-  Vec dx;
-  params_->W.multiply_transposed(dy, dx);
-  return dx;
+  if (dY.rows() != X.rows()) throw std::invalid_argument("Dense::backward: batch mismatch");
+  gemm_tn(dY, X, params_->gW, /*accumulate=*/true);  // gW += dY^T X
+  dY.add_col_sums_into(params_->gb);                 // gb += per-row dy, in row order
+  Matrix dX;
+  if (want_input_grad) gemm(dY, params_->W, dX);  // dX = dY W
+  return dX;
 }
 
 void Dense::collect_params(std::vector<ParamBlockPtr>& out) const { out.push_back(params_); }
@@ -56,24 +65,67 @@ double activate_grad_from_output(Activation kind, double y) noexcept {
   return 1.0;
 }
 
-Vec ActivationLayer::forward(const Vec& x) {
-  assert(x.size() == dim_);
-  Vec y(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = activate(kind_, x[i]);
-  outputs_.push_back(y);
-  return y;
+Matrix ActivationLayer::forward_batch(Matrix X, bool keep_cache) {
+  assert(X.cols() == dim_);
+  // Transform in place: the by-value input is ours to reuse, so inference
+  // allocates nothing. Dispatch on the activation once, not per element, so
+  // the simple kinds vectorize and the transcendental kinds lose the
+  // per-element switch.
+  double* v = X.data();
+  const std::size_t size = X.size();
+  switch (kind_) {
+    case Activation::kIdentity:
+      break;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < size; ++i) v[i] = v[i] > 0.0 ? v[i] : 0.0;
+      break;
+    case Activation::kElu:
+      for (std::size_t i = 0; i < size; ++i) {
+        if (v[i] <= 0.0) v[i] = std::expm1(v[i]);
+      }
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < size; ++i) v[i] = std::tanh(v[i]);
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < size; ++i) v[i] = 1.0 / (1.0 + std::exp(-v[i]));
+      break;
+  }
+  if (keep_cache) outputs_.push_back(X);
+  return X;
 }
 
-Vec ActivationLayer::backward(const Vec& dy) {
+Matrix ActivationLayer::backward_batch(const Matrix& dY, bool /*want_input_grad*/) {
+  // The "input gradient" of an activation is also its parameter-gradient
+  // carrier for the layers below, so it is always computed.
   if (outputs_.empty()) throw std::logic_error("ActivationLayer::backward without forward");
-  const Vec y = std::move(outputs_.back());
+  const Matrix Y = std::move(outputs_.back());
   outputs_.pop_back();
-  assert(dy.size() == y.size());
-  Vec dx(dy.size());
-  for (std::size_t i = 0; i < dy.size(); ++i) {
-    dx[i] = dy[i] * activate_grad_from_output(kind_, y[i]);
+  if (!dY.same_shape(Y)) throw std::invalid_argument("ActivationLayer::backward: shape mismatch");
+  Matrix dX;
+  dX.resize_for_overwrite(dY.rows(), dY.cols());
+  const double* dy = dY.data();
+  const double* y = Y.data();
+  double* dx = dX.data();
+  const std::size_t size = dY.size();
+  switch (kind_) {
+    case Activation::kIdentity:
+      for (std::size_t i = 0; i < size; ++i) dx[i] = dy[i];
+      break;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < size; ++i) dx[i] = y[i] > 0.0 ? dy[i] : 0.0;
+      break;
+    case Activation::kElu:
+      for (std::size_t i = 0; i < size; ++i) dx[i] = dy[i] * (y[i] > 0.0 ? 1.0 : y[i] + 1.0);
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < size; ++i) dx[i] = dy[i] * (1.0 - y[i] * y[i]);
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < size; ++i) dx[i] = dy[i] * (y[i] * (1.0 - y[i]));
+      break;
   }
-  return dx;
+  return dX;
 }
 
 }  // namespace hcrl::nn

@@ -2,9 +2,15 @@
 //
 // A layer may be applied several times within one computation (this happens
 // whenever parameters are shared, e.g. the K autoencoders of the global
-// tier). Each forward() pushes its cache; each backward() pops. Backward
+// tier). Each forward pushes its cache; each backward pops. Backward
 // passes must therefore run in exactly reverse order of the forward calls,
 // which is the natural order of reverse-mode differentiation.
+//
+// The primitive interface is *batched*: activations travel as a
+// (batch x dim) Matrix and the heavy lifting happens in the GEMM kernels of
+// matrix.hpp. The per-sample Vec API is a thin wrapper over batch = 1, so
+// both paths run the same kernels and stay bit-compatible (pinned by
+// tests/batch_parity_test.cpp).
 #pragma once
 
 #include <memory>
@@ -21,11 +27,23 @@ class Layer {
   virtual std::size_t in_dim() const = 0;
   virtual std::size_t out_dim() const = 0;
 
-  /// Compute output; caches whatever backward() needs (LIFO).
-  virtual Vec forward(const Vec& x) = 0;
-  /// Given dL/dy, accumulate parameter gradients and return dL/dx.
-  /// Must be called once per pending forward(), in reverse order.
-  virtual Vec backward(const Vec& dy) = 0;
+  /// Compute outputs for a (batch x in_dim) input. Takes the activation by
+  /// value so callers that are done with it can std::move it in and the
+  /// cache push becomes a move instead of a copy. With keep_cache, pushes
+  /// whatever backward_batch() needs (LIFO); inference passes false and
+  /// skips the caches entirely.
+  virtual Matrix forward_batch(Matrix X, bool keep_cache = true) = 0;
+  /// Given dL/dY (batch x out_dim), accumulate parameter gradients and
+  /// return dL/dX. Must be called once per pending forward, in reverse
+  /// order, with the same batch size as the matching forward. When the
+  /// caller discards dL/dX (every trainer's first layer does), pass
+  /// want_input_grad = false to skip computing it; the returned matrix is
+  /// then empty.
+  virtual Matrix backward_batch(const Matrix& dY, bool want_input_grad = true) = 0;
+
+  /// Per-sample wrappers: one row through the batched kernels.
+  Vec forward(const Vec& x);
+  Vec backward(const Vec& dy);
 
   /// Drop any pending caches (e.g. after inference-only forwards).
   virtual void clear_cache() = 0;
@@ -35,7 +53,7 @@ class Layer {
 
 using LayerPtr = std::unique_ptr<Layer>;
 
-/// Fully-connected layer y = W x + b over a (possibly shared) DenseParams.
+/// Fully-connected layer Y = X W^T + b over a (possibly shared) DenseParams.
 class Dense final : public Layer {
  public:
   explicit Dense(DenseParamsPtr params);
@@ -43,8 +61,8 @@ class Dense final : public Layer {
   std::size_t in_dim() const override { return params_->in_dim(); }
   std::size_t out_dim() const override { return params_->out_dim(); }
 
-  Vec forward(const Vec& x) override;
-  Vec backward(const Vec& dy) override;
+  Matrix forward_batch(Matrix X, bool keep_cache = true) override;
+  Matrix backward_batch(const Matrix& dY, bool want_input_grad = true) override;
   void clear_cache() override { inputs_.clear(); }
   void collect_params(std::vector<ParamBlockPtr>& out) const override;
 
@@ -52,7 +70,7 @@ class Dense final : public Layer {
 
  private:
   DenseParamsPtr params_;
-  std::vector<Vec> inputs_;
+  std::vector<Matrix> inputs_;
 };
 
 enum class Activation { kIdentity, kRelu, kElu, kTanh, kSigmoid };
@@ -65,8 +83,8 @@ class ActivationLayer final : public Layer {
   std::size_t in_dim() const override { return dim_; }
   std::size_t out_dim() const override { return dim_; }
 
-  Vec forward(const Vec& x) override;
-  Vec backward(const Vec& dy) override;
+  Matrix forward_batch(Matrix X, bool keep_cache = true) override;
+  Matrix backward_batch(const Matrix& dY, bool want_input_grad = true) override;
   void clear_cache() override { outputs_.clear(); }
   void collect_params(std::vector<ParamBlockPtr>&) const override {}
 
@@ -77,7 +95,7 @@ class ActivationLayer final : public Layer {
   std::size_t dim_;
   // We cache *outputs*: for all supported activations the derivative is
   // expressible from the output alone, halving cache traffic.
-  std::vector<Vec> outputs_;
+  std::vector<Matrix> outputs_;
 };
 
 // Scalar activation helpers (exposed for tests and the LSTM).

@@ -66,4 +66,73 @@ LossResult masked_huber_loss(const Vec& pred, std::size_t index, double target, 
   return out;
 }
 
+BatchLossResult mse_loss_batch(const Matrix& pred, const Matrix& target, double grad_scale) {
+  if (!pred.same_shape(target)) {
+    throw std::invalid_argument("mse_loss_batch: shape mismatch " + pred.shape_string() + " vs " +
+                                target.shape_string());
+  }
+  if (pred.size() == 0) throw std::invalid_argument("mse_loss_batch: empty");
+  BatchLossResult out;
+  out.grad.resize(pred.rows(), pred.cols());
+  const double inv_c = 1.0 / static_cast<double>(pred.cols());
+  for (std::size_t b = 0; b < pred.rows(); ++b) {
+    double row_value = 0.0;
+    for (std::size_t i = 0; i < pred.cols(); ++i) {
+      const double d = pred(b, i) - target(b, i);
+      row_value += d * d * inv_c;
+      out.grad(b, i) = 2.0 * d * inv_c * grad_scale;
+    }
+    out.value += row_value;
+  }
+  return out;
+}
+
+namespace {
+
+void check_masked_batch(const Matrix& pred, const std::vector<std::size_t>& index,
+                        const Vec& target, const char* who) {
+  if (index.size() != pred.rows() || target.size() != pred.rows()) {
+    throw std::invalid_argument(std::string(who) + ": need one index and target per row");
+  }
+  for (std::size_t b = 0; b < pred.rows(); ++b) {
+    if (index[b] >= pred.cols()) {
+      throw std::invalid_argument(std::string(who) + ": index out of range");
+    }
+  }
+}
+
+}  // namespace
+
+BatchLossResult masked_mse_loss_batch(const Matrix& pred, const std::vector<std::size_t>& index,
+                                      const Vec& target, double grad_scale) {
+  check_masked_batch(pred, index, target, "masked_mse_loss_batch");
+  BatchLossResult out;
+  out.grad.resize(pred.rows(), pred.cols(), 0.0);
+  for (std::size_t b = 0; b < pred.rows(); ++b) {
+    const double d = pred(b, index[b]) - target[b];
+    out.value += d * d;
+    out.grad(b, index[b]) = 2.0 * d * grad_scale;
+  }
+  return out;
+}
+
+BatchLossResult masked_huber_loss_batch(const Matrix& pred, const std::vector<std::size_t>& index,
+                                        const Vec& target, double delta, double grad_scale) {
+  check_masked_batch(pred, index, target, "masked_huber_loss_batch");
+  if (delta <= 0.0) throw std::invalid_argument("masked_huber_loss_batch: delta must be > 0");
+  BatchLossResult out;
+  out.grad.resize(pred.rows(), pred.cols(), 0.0);
+  for (std::size_t b = 0; b < pred.rows(); ++b) {
+    const double d = pred(b, index[b]) - target[b];
+    if (std::abs(d) <= delta) {
+      out.value += 0.5 * d * d;
+      out.grad(b, index[b]) = d * grad_scale;
+    } else {
+      out.value += delta * (std::abs(d) - 0.5 * delta);
+      out.grad(b, index[b]) = (d > 0.0 ? delta : -delta) * grad_scale;
+    }
+  }
+  return out;
+}
+
 }  // namespace hcrl::nn

@@ -26,4 +26,30 @@ LossResult masked_mse_loss(const Vec& pred, std::size_t index, double target);
 LossResult masked_huber_loss(const Vec& pred, std::size_t index, double target,
                              double delta = 1.0);
 
+// --- batched variants -----------------------------------------------------
+//
+// `pred` carries one sample per row; the gradient matrix feeds straight into
+// Network::backward_batch. `grad_scale` (typically 1/batch) is folded into
+// the gradient with the same operation order as the per-sample
+// loss-then-scale_in_place sequence, so batched and per-sample training
+// accumulate bit-identical gradients. `value` is the *sum* of the per-row
+// loss values (callers divide by the batch size, as the per-sample loops do).
+
+struct BatchLossResult {
+  double value = 0.0;
+  Matrix grad;  // dL/dpred, (batch x n), already multiplied by grad_scale
+};
+
+/// Row-wise MSE (mean over components, summed over rows).
+BatchLossResult mse_loss_batch(const Matrix& pred, const Matrix& target, double grad_scale = 1.0);
+
+/// Row b contributes (pred(b, index[b]) - target[b])^2; other grads zero.
+BatchLossResult masked_mse_loss_batch(const Matrix& pred, const std::vector<std::size_t>& index,
+                                      const Vec& target, double grad_scale = 1.0);
+
+/// Huber per row on component index[b] (gradient capped at delta).
+BatchLossResult masked_huber_loss_batch(const Matrix& pred, const std::vector<std::size_t>& index,
+                                        const Vec& target, double delta = 1.0,
+                                        double grad_scale = 1.0);
+
 }  // namespace hcrl::nn

@@ -15,45 +15,152 @@ Lstm::Lstm(LstmParamsPtr params) : params_(std::move(params)) {
   reset();
 }
 
-void Lstm::reset() {
-  h_.assign(hidden_dim(), 0.0);
-  c_.assign(hidden_dim(), 0.0);
+void Lstm::reset() { reset_batch(1); }
+
+void Lstm::reset_batch(std::size_t batch) {
+  if (batch == 0) throw std::invalid_argument("Lstm::reset_batch: batch must be > 0");
+  batch_ = batch;
+  h_.resize(batch, hidden_dim(), 0.0);
+  c_.resize(batch, hidden_dim(), 0.0);
   cache_.clear();
 }
 
-Vec Lstm::step(const Vec& x) {
-  assert(x.size() == in_dim());
+const Matrix& Lstm::step_batch(const Matrix& X, bool keep_cache) {
+  if (X.cols() != in_dim()) {
+    throw std::invalid_argument("Lstm::step_batch: input is " + X.shape_string());
+  }
+  if (X.rows() != batch_) {
+    throw std::invalid_argument("Lstm::step_batch: batch changed mid-sequence; reset_batch first");
+  }
+  const std::size_t B = batch_;
   const std::size_t H = hidden_dim();
 
-  Vec z, zh;
-  params_->Wx.multiply(x, z);
-  params_->Wh.multiply(h_, zh);
-  add_in_place(z, zh);
-  add_in_place(z, params_->b);
+  // All four gate pre-activations for the whole batch in one GEMM per
+  // operand: Z = b + X Wx^T + H_prev Wh^T, shape (B x 4H); the bias seeds
+  // the accumulators so no separate broadcast pass is needed.
+  Matrix Z;
+  Z.resize_for_overwrite(B, 4 * H);
+  for (std::size_t b = 0; b < B; ++b) Z.set_row(b, params_->b);
+  gemm_nt(X, params_->Wx, Z, /*accumulate=*/true);
+  gemm_nt(h_, params_->Wh, Z, /*accumulate=*/true);
+
+  if (!keep_cache) {
+    // Inference: update h/c in place, no per-step cache.
+    for (std::size_t b = 0; b < B; ++b) {
+      for (std::size_t j = 0; j < H; ++j) {
+        const double i = sigmoid(Z(b, j));
+        const double f = sigmoid(Z(b, H + j));
+        const double g = std::tanh(Z(b, 2 * H + j));
+        const double o = sigmoid(Z(b, 3 * H + j));
+        c_(b, j) = f * c_(b, j) + i * g;
+        h_(b, j) = o * std::tanh(c_(b, j));
+      }
+    }
+    return h_;
+  }
 
   StepCache sc;
-  sc.x = x;
-  sc.h_prev = h_;
-  sc.c_prev = c_;
-  sc.i.resize(H);
-  sc.f.resize(H);
-  sc.g.resize(H);
-  sc.o.resize(H);
-  sc.c.resize(H);
-  sc.tanh_c.resize(H);
+  sc.X = X;
+  sc.Hprev = h_;
+  sc.Cprev = c_;
+  sc.I.resize_for_overwrite(B, H);
+  sc.F.resize_for_overwrite(B, H);
+  sc.G.resize_for_overwrite(B, H);
+  sc.O.resize_for_overwrite(B, H);
+  sc.C.resize_for_overwrite(B, H);
+  sc.TanhC.resize_for_overwrite(B, H);
 
-  for (std::size_t j = 0; j < H; ++j) {
-    sc.i[j] = sigmoid(z[j]);
-    sc.f[j] = sigmoid(z[H + j]);
-    sc.g[j] = std::tanh(z[2 * H + j]);
-    sc.o[j] = sigmoid(z[3 * H + j]);
-    sc.c[j] = sc.f[j] * sc.c_prev[j] + sc.i[j] * sc.g[j];
-    sc.tanh_c[j] = std::tanh(sc.c[j]);
-    h_[j] = sc.o[j] * sc.tanh_c[j];
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t j = 0; j < H; ++j) {
+      const double i = sigmoid(Z(b, j));
+      const double f = sigmoid(Z(b, H + j));
+      const double g = std::tanh(Z(b, 2 * H + j));
+      const double o = sigmoid(Z(b, 3 * H + j));
+      const double c = f * sc.Cprev(b, j) + i * g;
+      const double tc = std::tanh(c);
+      sc.I(b, j) = i;
+      sc.F(b, j) = f;
+      sc.G(b, j) = g;
+      sc.O(b, j) = o;
+      sc.C(b, j) = c;
+      sc.TanhC(b, j) = tc;
+      h_(b, j) = o * tc;
+    }
   }
-  c_ = sc.c;
+  c_ = sc.C;
   cache_.push_back(std::move(sc));
   return h_;
+}
+
+std::vector<Matrix> Lstm::forward_batch(const std::vector<Matrix>& Xs) {
+  if (Xs.empty()) return {};
+  reset_batch(Xs.front().rows());
+  std::vector<Matrix> hs;
+  hs.reserve(Xs.size());
+  for (const auto& X : Xs) hs.push_back(step_batch(X));
+  return hs;
+}
+
+std::vector<Matrix> Lstm::backward_batch(const std::vector<Matrix>& dH) {
+  if (dH.size() != cache_.size()) {
+    throw std::invalid_argument("Lstm::backward: dH size != cached steps");
+  }
+  const std::size_t B = batch_;
+  const std::size_t H = hidden_dim();
+  const std::size_t T = cache_.size();
+  // Validate every dH shape up front so a mismatch cannot throw after some
+  // timesteps already accumulated into the shared parameter gradients.
+  for (std::size_t tt = 0; tt < T; ++tt) {
+    if (dH[tt].rows() != B || dH[tt].cols() != H) {
+      throw std::invalid_argument("Lstm::backward: dH[" + std::to_string(tt) + "] is " +
+                                  dH[tt].shape_string());
+    }
+  }
+  std::vector<Matrix> dX(T);
+
+  Matrix dHnext(B, H, 0.0);  // dL/dh_t flowing from step t+1
+  Matrix dCnext(B, H, 0.0);  // dL/dc_t flowing from step t+1
+  Matrix dZ(B, 4 * H);
+
+  for (std::size_t tt = T; tt-- > 0;) {
+    const StepCache& sc = cache_[tt];
+    Matrix dHt = dH[tt];
+    add_in_place(dHt, dHnext);
+
+    for (std::size_t b = 0; b < B; ++b) {
+      for (std::size_t j = 0; j < H; ++j) {
+        // h = o * tanh(c)
+        const double do_ = dHt(b, j) * sc.TanhC(b, j);
+        const double dc =
+            dHt(b, j) * sc.O(b, j) * (1.0 - sc.TanhC(b, j) * sc.TanhC(b, j)) + dCnext(b, j);
+        const double di = dc * sc.G(b, j);
+        const double df = dc * sc.Cprev(b, j);
+        const double dg = dc * sc.I(b, j);
+        // gate pre-activations
+        dZ(b, j) = di * sc.I(b, j) * (1.0 - sc.I(b, j));
+        dZ(b, H + j) = df * sc.F(b, j) * (1.0 - sc.F(b, j));
+        dZ(b, 2 * H + j) = dg * (1.0 - sc.G(b, j) * sc.G(b, j));
+        dZ(b, 3 * H + j) = do_ * sc.O(b, j) * (1.0 - sc.O(b, j));
+        dCnext(b, j) = dc * sc.F(b, j);
+      }
+    }
+
+    gemm_tn(dZ, sc.X, params_->gWx, /*accumulate=*/true);
+    gemm_tn(dZ, sc.Hprev, params_->gWh, /*accumulate=*/true);
+    dZ.add_col_sums_into(params_->gb);
+
+    gemm(dZ, params_->Wx, dX[tt]);
+    gemm(dZ, params_->Wh, dHnext);
+  }
+  cache_.clear();
+  return dX;
+}
+
+Vec Lstm::step(const Vec& x) {
+  if (batch_ != 1) {
+    throw std::logic_error("Lstm::step: per-sample step on batched state; call reset() first");
+  }
+  return step_batch(Matrix::from_row(x)).row(0);
 }
 
 std::vector<Vec> Lstm::forward(const std::vector<Vec>& xs) {
@@ -65,45 +172,13 @@ std::vector<Vec> Lstm::forward(const std::vector<Vec>& xs) {
 }
 
 std::vector<Vec> Lstm::backward(const std::vector<Vec>& dh) {
-  if (dh.size() != cache_.size()) {
-    throw std::invalid_argument("Lstm::backward: dh size != cached steps");
-  }
-  const std::size_t H = hidden_dim();
-  const std::size_t T = cache_.size();
-  std::vector<Vec> dx(T);
-
-  Vec dh_next(H, 0.0);  // dL/dh_t flowing from step t+1
-  Vec dc_next(H, 0.0);  // dL/dc_t flowing from step t+1
-  Vec dz(4 * H);
-
-  for (std::size_t tt = T; tt-- > 0;) {
-    const StepCache& sc = cache_[tt];
-    Vec dht = dh[tt];
-    add_in_place(dht, dh_next);
-
-    for (std::size_t j = 0; j < H; ++j) {
-      // h = o * tanh(c)
-      const double do_ = dht[j] * sc.tanh_c[j];
-      double dc = dht[j] * sc.o[j] * (1.0 - sc.tanh_c[j] * sc.tanh_c[j]) + dc_next[j];
-      const double di = dc * sc.g[j];
-      const double df = dc * sc.c_prev[j];
-      const double dg = dc * sc.i[j];
-      // gate pre-activations
-      dz[j] = di * sc.i[j] * (1.0 - sc.i[j]);
-      dz[H + j] = df * sc.f[j] * (1.0 - sc.f[j]);
-      dz[2 * H + j] = dg * (1.0 - sc.g[j] * sc.g[j]);
-      dz[3 * H + j] = do_ * sc.o[j] * (1.0 - sc.o[j]);
-      dc_next[j] = dc * sc.f[j];
-    }
-
-    params_->gWx.add_outer(dz, sc.x);
-    params_->gWh.add_outer(dz, sc.h_prev);
-    add_in_place(params_->gb, dz);
-
-    params_->Wx.multiply_transposed(dz, dx[tt]);
-    params_->Wh.multiply_transposed(dz, dh_next);
-  }
-  cache_.clear();
+  std::vector<Matrix> dH;
+  dH.reserve(dh.size());
+  for (const auto& d : dh) dH.push_back(Matrix::from_row(d));
+  std::vector<Matrix> dX = backward_batch(dH);
+  std::vector<Vec> dx;
+  dx.reserve(dX.size());
+  for (const auto& d : dX) dx.push_back(d.row(0));
   return dx;
 }
 

@@ -7,6 +7,11 @@
 //   h_t = o * tanh(c_t)
 // The paper's workload predictor uses one such layer with 30 hidden units
 // over a 35-step look-back window of job inter-arrival times (§VI-A).
+//
+// The cell is batched: hidden and cell state are (batch x H) matrices, and
+// each timestep stacks the four gate pre-activations for the whole batch
+// into one (batch x 4H) GEMM against Wx / Wh. The per-sample step/backward
+// API is a thin wrapper over batch = 1 running the same kernels.
 #pragma once
 
 #include <vector>
@@ -21,10 +26,34 @@ class Lstm {
 
   std::size_t hidden_dim() const noexcept { return params_->hidden_dim(); }
   std::size_t in_dim() const noexcept { return params_->in_dim(); }
+  std::size_t batch_size() const noexcept { return batch_; }
   const LstmParamsPtr& params() const noexcept { return params_; }
 
-  /// Clear hidden/cell state and all cached steps.
+  /// Clear hidden/cell state and all cached steps (batch = 1).
   void reset();
+  /// Clear state and caches, sized for `batch` parallel sequences.
+  void reset_batch(std::size_t batch);
+
+  // --- batched path --------------------------------------------------------
+
+  /// One forward step for `batch` sequences at once: X is (batch x in_dim),
+  /// the returned hidden state is (batch x H). With keep_cache, caches the
+  /// step for backward_batch; inference passes false and skips the copies.
+  const Matrix& step_batch(const Matrix& X, bool keep_cache = true);
+
+  /// Reset to Xs[0].rows() sequences, then run the whole stacked sequence;
+  /// returns the (batch x H) hidden state of every step.
+  std::vector<Matrix> forward_batch(const std::vector<Matrix>& Xs);
+
+  /// BPTT over all cached steps. `dH` holds dL/dh_t (batch x H) for each
+  /// cached step (zero matrices for steps without direct loss). Accumulates
+  /// parameter gradients and returns dL/dX_t per step. Clears the cache.
+  std::vector<Matrix> backward_batch(const std::vector<Matrix>& dH);
+
+  const Matrix& hidden_batch() const noexcept { return h_; }
+  const Matrix& cell_batch() const noexcept { return c_; }
+
+  // --- per-sample wrappers (batch = 1) -------------------------------------
 
   /// One forward step; returns h_t and caches intermediates for backward.
   Vec step(const Vec& x);
@@ -32,24 +61,24 @@ class Lstm {
   /// Reset, then run the whole sequence; returns h_t for every step.
   std::vector<Vec> forward(const std::vector<Vec>& xs);
 
-  /// BPTT over all cached steps. `dh` holds dL/dh_t for each cached step
-  /// (use zero vectors for steps without direct loss). Accumulates
-  /// parameter gradients and returns dL/dx_t per step. Clears the cache.
+  /// BPTT over all cached steps (see backward_batch); per-sample shapes.
   std::vector<Vec> backward(const std::vector<Vec>& dh);
 
-  const Vec& hidden() const noexcept { return h_; }
-  const Vec& cell() const noexcept { return c_; }
+  /// Row 0 of the hidden/cell state (the only row in per-sample use).
+  Vec hidden() const { return h_.row(0); }
+  Vec cell() const { return c_.row(0); }
   std::size_t cached_steps() const noexcept { return cache_.size(); }
 
  private:
   struct StepCache {
-    Vec x, h_prev, c_prev;
-    Vec i, f, g, o;     // gate activations
-    Vec c, tanh_c;      // new cell state and tanh(c)
+    Matrix X, Hprev, Cprev;
+    Matrix I, F, G, O;   // gate activations (batch x H each)
+    Matrix C, TanhC;     // new cell state and tanh(c)
   };
 
   LstmParamsPtr params_;
-  Vec h_, c_;
+  std::size_t batch_ = 1;
+  Matrix h_, c_;  // (batch x H)
   std::vector<StepCache> cache_;
 };
 

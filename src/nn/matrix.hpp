@@ -2,10 +2,14 @@
 //
 // The networks in this project are tiny (tens to a few hundred units), so a
 // straightforward double-precision matrix with cache-friendly loops is both
-// simple and fast enough; there is intentionally no BLAS dependency.
+// simple and fast enough; there is intentionally no BLAS dependency. The
+// GEMM kernels below are the batched substrate: every batched layer carries
+// a (batch x dim) activation Matrix through them, and the per-sample APIs
+// are thin wrappers over batch = 1.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,18 +22,30 @@ class Matrix {
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
 
+  // Storage is a capacity-tracked raw buffer (not std::vector) so that
+  // resize_for_overwrite() can hand out genuinely uninitialized memory:
+  // every batched layer output is fully written by a GEMM or elementwise
+  // kernel, and zero-filling it first would be a wasted pass per matrix.
+  Matrix(const Matrix& other);
+  Matrix(Matrix&& other) noexcept;
+  Matrix& operator=(const Matrix& other);
+  Matrix& operator=(Matrix&& other) noexcept;
+
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
-  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t size() const noexcept { return rows_ * cols_; }
 
   double& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
   double operator()(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
 
-  double* data() noexcept { return data_.data(); }
-  const double* data() const noexcept { return data_.data(); }
+  double* data() noexcept { return data_.get(); }
+  const double* data() const noexcept { return data_.get(); }
 
   void fill(double v) noexcept;
   void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Resize leaving element values unspecified (cheap when the shape is
+  /// already right); callers must overwrite every element before reading.
+  void resize_for_overwrite(std::size_t rows, std::size_t cols);
 
   /// y = this * x  (rows x cols) * (cols) -> (rows)
   void multiply(const Vec& x, Vec& y) const;
@@ -44,13 +60,50 @@ class Matrix {
 
   std::string shape_string() const;
 
+  // --- row-oriented helpers for the batched (batch x dim) layout ----------
+
+  /// 1 x n matrix holding `x` as its single row.
+  static Matrix from_row(const Vec& x);
+  /// rows.size() x rows[0].size() matrix; all rows must share one length.
+  static Matrix from_rows(const std::vector<Vec>& rows);
+
+  /// Copy of row r as a Vec.
+  Vec row(std::size_t r) const;
+  void set_row(std::size_t r, const Vec& x);
+  /// this(r, :) += b for every row r (bias broadcast).
+  void add_row_broadcast(const Vec& b);
+  /// out[c] += sum over rows of this(r, c), accumulated in row order so the
+  /// result is bit-identical to adding the rows one by one (bias gradients).
+  void add_col_sums_into(Vec& out) const;
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::size_t capacity_ = 0;
+  std::unique_ptr<double[]> data_;
 };
 
+// --- GEMM kernels ---------------------------------------------------------
+//
+// C (+)= op(A) * op(B) with blocked, cache-friendly loops. When `accumulate`
+// is false C is resized and overwritten; when true C must already have the
+// result shape and the product is added into it. Shape mismatches throw
+// std::invalid_argument. Each output element's reduction runs in strictly
+// increasing k order, so a batch-1 GEMM reproduces the per-sample
+// multiply/multiply_transposed/add_outer results bit-for-bit — the property
+// the batch-parity suite pins down.
+
+/// C (+)= A * B;  A is (m x k), B is (k x n), C is (m x n).
+void gemm(const Matrix& A, const Matrix& B, Matrix& C, bool accumulate = false);
+/// C (+)= A^T * B;  A is (k x m), B is (k x n), C is (m x n).
+void gemm_tn(const Matrix& A, const Matrix& B, Matrix& C, bool accumulate = false);
+/// C (+)= A * B^T;  A is (m x k), B is (n x k), C is (m x n).
+void gemm_nt(const Matrix& A, const Matrix& B, Matrix& C, bool accumulate = false);
+
 // --- small Vec helpers used throughout the nn/ and core/ code -------------
+
+/// X += Y elementwise (shapes must match).
+void add_in_place(Matrix& X, const Matrix& Y);
 
 /// z = x + y (sizes must match).
 Vec add(const Vec& x, const Vec& y);

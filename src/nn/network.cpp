@@ -1,5 +1,6 @@
 #include "src/nn/network.hpp"
 
+#include <iterator>
 #include <stdexcept>
 
 #include "src/nn/init.hpp"
@@ -41,27 +42,35 @@ std::size_t Network::out_dim() const {
   return layers_.back()->out_dim();
 }
 
-Vec Network::forward(const Vec& x) {
-  Vec h = x;
-  for (auto& layer : layers_) h = layer->forward(h);
-  return h;
+Matrix Network::forward_batch(Matrix X) {
+  for (auto& layer : layers_) X = layer->forward_batch(std::move(X));
+  return X;
 }
 
-Vec Network::backward(const Vec& dy) {
-  Vec g = dy;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
-  return g;
+Matrix Network::backward_batch(const Matrix& dY, bool want_input_grad) {
+  Matrix G = dY;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    const bool innermost = std::next(it) == layers_.rend();
+    G = (*it)->backward_batch(G, want_input_grad || !innermost);
+  }
+  return G;
 }
 
-Vec Network::predict(const Vec& x) {
-  Vec y = forward(x);
-  // The caches from this forward are unwanted; drop only what we pushed by
-  // popping via clear on each layer would also drop caches from pending
-  // training forwards, so Network::predict must not be interleaved inside an
-  // un-backpropagated training pass.
-  clear_cache();
-  return y;
+Matrix Network::predict_batch(Matrix X) {
+  // Inference: no caches are pushed at all, so predicting is safe even in
+  // the middle of an un-backpropagated training pass.
+  for (auto& layer : layers_) X = layer->forward_batch(std::move(X), /*keep_cache=*/false);
+  return X;
 }
+
+Vec Network::forward(const Vec& x) { return forward_batch(Matrix::from_row(x)).row(0); }
+
+Vec Network::backward(const Vec& dy, bool want_input_grad) {
+  Matrix dX = backward_batch(Matrix::from_row(dy), want_input_grad);
+  return want_input_grad ? dX.row(0) : Vec();
+}
+
+Vec Network::predict(const Vec& x) { return predict_batch(Matrix::from_row(x)).row(0); }
 
 void Network::clear_cache() {
   for (auto& layer : layers_) layer->clear_cache();

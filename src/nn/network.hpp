@@ -25,9 +25,20 @@ class Network {
   std::size_t out_dim() const;
   bool empty() const noexcept { return layers_.empty(); }
 
+  // Batched path: a (batch x dim) activation matrix flows through the GEMM
+  // kernels; one call handles a whole minibatch.
+  Matrix forward_batch(Matrix X);
+  /// Backward through the whole stack; returns dL/dX (batch x in_dim).
+  /// Trainers that discard dL/dX pass want_input_grad = false to skip the
+  /// first layer's input-gradient GEMM (the result is then empty).
+  Matrix backward_batch(const Matrix& dY, bool want_input_grad = true);
+  /// Batched forward without keeping caches (inference only).
+  Matrix predict_batch(Matrix X);
+
+  // Per-sample wrappers over batch = 1 (same kernels, same results).
   Vec forward(const Vec& x);
-  /// Backward through the whole stack; returns dL/dx.
-  Vec backward(const Vec& dy);
+  /// Backward through the whole stack; returns dL/dx (see backward_batch).
+  Vec backward(const Vec& dy, bool want_input_grad = true);
   /// Forward without keeping caches (inference only).
   Vec predict(const Vec& x);
 

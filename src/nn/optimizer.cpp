@@ -60,20 +60,28 @@ Adam::Adam(std::vector<ParamBlockPtr> params, Options opts)
 
 void Adam::step() {
   ++t_;
-  const double bc1 = 1.0 - std::pow(opts_.beta1, static_cast<double>(t_));
-  const double bc2 = 1.0 - std::pow(opts_.beta2, static_cast<double>(t_));
+  // Hoist the bias corrections into reciprocals: one divide and one sqrt per
+  // element instead of three divides, and the loop body stays branch-free so
+  // it can vectorize. This is the whole-network fixed cost of every SGD
+  // step, so it shows up directly in the train-step benchmarks.
+  const double inv_bc1 = 1.0 / (1.0 - std::pow(opts_.beta1, static_cast<double>(t_)));
+  const double inv_bc2 = 1.0 / (1.0 - std::pow(opts_.beta2, static_cast<double>(t_)));
+  const double one_minus_beta1 = 1.0 - opts_.beta1;
+  const double one_minus_beta2 = 1.0 - opts_.beta2;
+  const double lr_decay = opts_.lr * opts_.weight_decay;
+  const bool decay = opts_.weight_decay > 0.0;
   for (std::size_t k = 0; k < segments_.size(); ++k) {
     auto& s = segments_[k];
-    auto& m = m_[k];
-    auto& v = v_[k];
+    double* m = m_[k].data();
+    double* v = v_[k].data();
     for (std::size_t i = 0; i < s.n; ++i) {
       const double g = s.grad[i];
-      m[i] = opts_.beta1 * m[i] + (1.0 - opts_.beta1) * g;
-      v[i] = opts_.beta2 * v[i] + (1.0 - opts_.beta2) * g * g;
-      const double m_hat = m[i] / bc1;
-      const double v_hat = v[i] / bc2;
+      m[i] = opts_.beta1 * m[i] + one_minus_beta1 * g;
+      v[i] = opts_.beta2 * v[i] + one_minus_beta2 * g * g;
+      const double m_hat = m[i] * inv_bc1;
+      const double v_hat = v[i] * inv_bc2;
       double update = opts_.lr * m_hat / (std::sqrt(v_hat) + opts_.epsilon);
-      if (opts_.weight_decay > 0.0) update += opts_.lr * opts_.weight_decay * s.value[i];
+      if (decay) update += lr_decay * s.value[i];
       s.value[i] -= update;
     }
   }

@@ -34,7 +34,8 @@ DqnAgent::DqnAgent(std::size_t state_dim, std::size_t n_actions, const Options& 
     throw std::invalid_argument("DqnAgent: empty state or action space");
   }
   if (opts.batch_size == 0) throw std::invalid_argument("DqnAgent: batch_size must be > 0");
-  optimizer_ = std::make_unique<nn::Adam>(online_.params(),
+  online_params_ = online_.params();
+  optimizer_ = std::make_unique<nn::Adam>(online_params_,
                                           nn::Adam::Options{.lr = opts.learning_rate});
   sync_target();
 }
@@ -72,8 +73,18 @@ double DqnAgent::train_step() {
   if (replay_.size() < opts_.min_replay_before_training) return -1.0;
   auto batch = replay_.sample(opts_.batch_size, train_rng_);
   optimizer_->zero_grad();
-  double total_loss = 0.0;
   const double inv_n = 1.0 / static_cast<double>(batch.size());
+  const double total_loss = opts_.batched_train ? accumulate_grads_batched(batch, inv_n)
+                                                : accumulate_grads_per_sample(batch, inv_n);
+  nn::clip_grad_norm(online_params_, opts_.grad_clip);
+  optimizer_->step();
+  ++train_steps_;
+  return total_loss * inv_n;
+}
+
+double DqnAgent::accumulate_grads_per_sample(const std::vector<const Transition*>& batch,
+                                             double inv_n) {
+  double total_loss = 0.0;
   for (const Transition* t : batch) {
     nn::Vec next_q = target_.predict(t->next_state);
     double best_next;
@@ -88,12 +99,52 @@ double DqnAgent::train_step() {
     nn::LossResult loss = nn::masked_mse_loss(pred, t->action, target);
     total_loss += loss.value;
     nn::scale_in_place(loss.grad, inv_n);
-    online_.backward(loss.grad);
+    online_.backward(loss.grad, /*want_input_grad=*/false);
   }
-  nn::clip_grad_norm(online_.params(), opts_.grad_clip);
-  optimizer_->step();
-  ++train_steps_;
-  return total_loss * inv_n;
+  return total_loss;
+}
+
+double DqnAgent::accumulate_grads_batched(const std::vector<const Transition*>& batch,
+                                          double inv_n) {
+  const std::size_t n = batch.size();
+  nn::Matrix states, next_states;
+  states.resize_for_overwrite(n, state_dim_);
+  next_states.resize_for_overwrite(n, state_dim_);
+  std::vector<std::size_t> actions(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    states.set_row(b, batch[b]->state);
+    next_states.set_row(b, batch[b]->next_state);
+    actions[b] = batch[b]->action;
+  }
+
+  // Bootstrap targets: one batched sweep over the target (and, for double
+  // Q-learning, the online) network instead of |batch| predict() calls.
+  nn::Matrix next_q_online;
+  if (opts_.double_q) next_q_online = online_.predict_batch(next_states);
+  const nn::Matrix next_q = target_.predict_batch(std::move(next_states));
+  nn::Vec targets(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    const double* row = next_q.data() + b * n_actions_;
+    std::size_t best = 0;
+    if (opts_.double_q) {
+      const double* sel = next_q_online.data() + b * n_actions_;
+      for (std::size_t a = 1; a < n_actions_; ++a) {
+        if (sel[a] > sel[best]) best = a;
+      }
+    } else {
+      for (std::size_t a = 1; a < n_actions_; ++a) {
+        if (row[a] > row[best]) best = a;
+      }
+    }
+    targets[b] = smdp_target(batch[b]->reward_rate, batch[b]->tau, opts_.beta, row[best]);
+  }
+
+  // One forward/backward pair for the whole minibatch; the per-sample
+  // gradient accumulation folds into the GEMMs of the backward pass.
+  const nn::Matrix pred = online_.forward_batch(std::move(states));
+  nn::BatchLossResult loss = nn::masked_mse_loss_batch(pred, actions, targets, inv_n);
+  online_.backward_batch(loss.grad, /*want_input_grad=*/false);
+  return loss.value;
 }
 
 void DqnAgent::sync_target() { nn::copy_param_values(online_.params(), target_.params()); }

@@ -37,6 +37,14 @@ class DqnAgent {
     /// online network, evaluate it with the target network. Reduces the
     /// max-operator overestimation bias of vanilla DQN.
     bool double_q = false;
+    /// Train on the whole minibatch in one batched forward/backward pair
+    /// (GEMM path). The per-sample loop is kept as the reference
+    /// implementation. For layer dimensions within one GEMM panel
+    /// (k <= 192, see matrix.cpp's kKBlock) the two paths accumulate
+    /// bit-identical gradients (tests/batch_parity_test.cpp); beyond that
+    /// the panel split regroups the reduction chains, and the paths agree
+    /// only to floating-point reassociation error.
+    bool batched_train = true;
   };
 
   DqnAgent(std::size_t state_dim, std::size_t n_actions, const Options& opts, common::Rng& rng);
@@ -58,6 +66,8 @@ class DqnAgent {
   double train_step();
 
   const ReplayBuffer<Transition>& replay() const noexcept { return replay_; }
+  /// Online-network parameters (used for persistence and parity tests).
+  std::vector<nn::ParamBlockPtr> trainable_params() const { return online_.params(); }
   std::int64_t observed_transitions() const noexcept { return observed_; }
   std::int64_t train_steps() const noexcept { return train_steps_; }
   double current_epsilon() const { return opts_.epsilon.value(action_steps_); }
@@ -65,12 +75,17 @@ class DqnAgent {
 
  private:
   void sync_target();
+  /// Accumulate minibatch gradients sample by sample; returns summed loss.
+  double accumulate_grads_per_sample(const std::vector<const Transition*>& batch, double inv_n);
+  /// Same math through one batched forward/backward pair per network.
+  double accumulate_grads_batched(const std::vector<const Transition*>& batch, double inv_n);
 
   std::size_t state_dim_;
   std::size_t n_actions_;
   Options opts_;
   nn::Network online_;
   nn::Network target_;
+  std::vector<nn::ParamBlockPtr> online_params_;  // gathered once, reused every step
   std::unique_ptr<nn::Adam> optimizer_;
   ReplayBuffer<Transition> replay_;
   common::Rng train_rng_;

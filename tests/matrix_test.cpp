@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <initializer_list>
 #include <stdexcept>
+
+#include "src/common/rng.hpp"
 
 namespace hcrl::nn {
 namespace {
@@ -95,6 +98,184 @@ TEST(VecHelpers, ArgmaxFirstOnTies) {
   EXPECT_EQ(argmax({1.0, 5.0, 5.0, 2.0}), 1u);
   EXPECT_EQ(argmax({-3.0}), 0u);
   EXPECT_THROW(argmax({}), std::invalid_argument);
+}
+
+// --- GEMM kernels ---------------------------------------------------------
+
+Matrix make(std::size_t rows, std::size_t cols, std::initializer_list<double> vals) {
+  Matrix m(rows, cols);
+  std::size_t i = 0;
+  for (double v : vals) m.data()[i++] = v;
+  return m;
+}
+
+void expect_matrix_eq(const Matrix& a, const Matrix& b, double tol = 1e-12) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(a(r, c), b(r, c), tol) << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(Gemm, GoldenSmallProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const Matrix A = make(2, 2, {1, 2, 3, 4});
+  const Matrix B = make(2, 2, {5, 6, 7, 8});
+  Matrix C;
+  gemm(A, B, C);
+  expect_matrix_eq(C, make(2, 2, {19, 22, 43, 50}));
+}
+
+TEST(Gemm, GoldenRectangular) {
+  // (2x3) * (3x2)
+  const Matrix A = make(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix B = make(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix C;
+  gemm(A, B, C);
+  expect_matrix_eq(C, make(2, 2, {58, 64, 139, 154}));
+}
+
+TEST(Gemm, TransposeVariantsMatchExplicitTranspose) {
+  common::Rng rng(3);
+  auto rand_matrix = [&rng](std::size_t r, std::size_t c) {
+    Matrix m(r, c);
+    for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.uniform(-1.0, 1.0);
+    return m;
+  };
+  auto transpose = [](const Matrix& m) {
+    Matrix t(m.cols(), m.rows());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t c = 0; c < m.cols(); ++c) t(c, r) = m(r, c);
+    }
+    return t;
+  };
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    const auto k = 1 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    const auto n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    const Matrix At = rand_matrix(k, m);  // A^T stored; A = transpose(At)
+    const Matrix B = rand_matrix(k, n);
+    Matrix via_tn, via_plain;
+    gemm_tn(At, B, via_tn);
+    gemm(transpose(At), B, via_plain);
+    expect_matrix_eq(via_tn, via_plain);
+
+    const Matrix A2 = rand_matrix(m, k);
+    const Matrix Bt = rand_matrix(n, k);  // B^T stored
+    Matrix via_nt, via_plain2;
+    gemm_nt(A2, Bt, via_nt);
+    gemm(A2, transpose(Bt), via_plain2);
+    expect_matrix_eq(via_nt, via_plain2);
+  }
+}
+
+TEST(Gemm, AccumulateAddsIntoExisting) {
+  const Matrix A = make(1, 2, {1, 2});
+  const Matrix B = make(2, 1, {3, 4});
+  Matrix C(1, 1, 100.0);
+  gemm(A, B, C, /*accumulate=*/true);
+  EXPECT_DOUBLE_EQ(C(0, 0), 111.0);  // 100 + 1*3 + 2*4
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  const Matrix A(2, 3), B(2, 3);  // inner dims disagree for plain product
+  Matrix C;
+  EXPECT_THROW(gemm(A, B, C), std::invalid_argument);
+  const Matrix D(4, 3);
+  EXPECT_THROW(gemm_tn(A, D, C), std::invalid_argument);  // A rows != D rows
+  const Matrix E(4, 5);
+  EXPECT_THROW(gemm_nt(A, E, C), std::invalid_argument);  // A cols != E cols
+  Matrix F(9, 9, 1.0);
+  EXPECT_THROW(gemm(A, Matrix(3, 2), F, /*accumulate=*/true), std::invalid_argument);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  common::Rng rng(5);
+  Matrix A(4, 4);
+  for (std::size_t i = 0; i < A.size(); ++i) A.data()[i] = rng.uniform(-3.0, 3.0);
+  Matrix I(4, 4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) I(i, i) = 1.0;
+  Matrix L, R;
+  gemm(I, A, L);
+  gemm(A, I, R);
+  expect_matrix_eq(L, A);
+  expect_matrix_eq(R, A);
+}
+
+TEST(Gemm, AssociativityProperty) {
+  // (A B) C == A (B C) for random matrices, to numerical tolerance.
+  common::Rng rng(6);
+  auto rand_matrix = [&rng](std::size_t r, std::size_t c) {
+    Matrix m(r, c);
+    for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.uniform(-1.0, 1.0);
+    return m;
+  };
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto d1 = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+    const auto d2 = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+    const auto d3 = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+    const auto d4 = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+    const Matrix A = rand_matrix(d1, d2), B = rand_matrix(d2, d3), C = rand_matrix(d3, d4);
+    Matrix AB, AB_C, BC, A_BC;
+    gemm(A, B, AB);
+    gemm(AB, C, AB_C);
+    gemm(B, C, BC);
+    gemm(A, BC, A_BC);
+    expect_matrix_eq(AB_C, A_BC, 1e-10);
+  }
+}
+
+TEST(Gemm, BatchOneMatchesMatrixVectorKernels) {
+  // The per-sample kernels and the batch-1 GEMMs must agree exactly.
+  common::Rng rng(7);
+  Matrix W(5, 3);
+  for (std::size_t i = 0; i < W.size(); ++i) W.data()[i] = rng.uniform(-2.0, 2.0);
+  Vec x = {0.3, -1.2, 2.5};
+
+  Vec y;
+  W.multiply(x, y);
+  Matrix Y;
+  gemm_nt(Matrix::from_row(x), W, Y);  // (1x3) * (5x3)^T = (1x5)
+  for (std::size_t j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(Y(0, j), y[j]);
+
+  Vec dy = {1.0, -0.5, 0.25, 2.0, -1.5};
+  Vec dx;
+  W.multiply_transposed(dy, dx);
+  Matrix dX;
+  gemm(Matrix::from_row(dy), W, dX);  // (1x5) * (5x3) = (1x3)
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(dX(0, j), dx[j]);
+
+  Matrix gW(5, 3, 0.0), gW_ref(5, 3, 0.0);
+  gW_ref.add_outer(dy, x);
+  gemm_tn(Matrix::from_row(dy), Matrix::from_row(x), gW, /*accumulate=*/true);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(gW(r, c), gW_ref(r, c));
+  }
+}
+
+TEST(MatrixRowHelpers, FromRowsRowSetRowColSums) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  ASSERT_EQ(m.rows(), 3u);
+  ASSERT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  const Vec r1 = m.row(1);
+  EXPECT_DOUBLE_EQ(r1[0], 3.0);
+
+  Matrix n(2, 2, 0.0);
+  n.set_row(1, {7.0, 8.0});
+  EXPECT_DOUBLE_EQ(n(1, 1), 8.0);
+  n.add_row_broadcast({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(n(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(n(1, 0), 8.0);
+
+  Vec sums(2, 10.0);
+  m.add_col_sums_into(sums);
+  EXPECT_DOUBLE_EQ(sums[0], 19.0);  // 10 + 1+3+5
+  EXPECT_DOUBLE_EQ(sums[1], 22.0);  // 10 + 2+4+6
+
+  EXPECT_THROW(Matrix::from_rows({{1.0}, {1.0, 2.0}}), std::invalid_argument);
 }
 
 }  // namespace
