@@ -10,7 +10,9 @@
 
 int main() {
   // The sweep runs 5 + 3*3 = 14 full simulations; default to a reduced
-  // trace so the whole figure regenerates in minutes.
+  // trace so the whole figure regenerates in minutes. The cells run as one
+  // scenario batch on a ParallelRunner (HCRL_BENCH_THREADS overrides the
+  // worker count), so wall time shrinks toward the slowest single cell.
   const std::size_t jobs = hcrl::bench::env_jobs(20000);
 
   hcrl::core::TradeoffOptions opts;
@@ -18,6 +20,7 @@ int main() {
   opts.local_weights = {0.1, 0.3, 0.5, 0.7, 0.9};
   opts.fixed_timeouts = {30.0, 60.0, 90.0};
   opts.global_vm_weights = {0.002, 0.01, 0.05};
+  opts.threads = hcrl::bench::env_threads();
 
   std::printf("=== Fig. 10: power/latency trade-off, M = 30, %zu jobs ===\n", jobs);
   const auto result = hcrl::core::explore_tradeoff(opts);

@@ -5,6 +5,9 @@
 // The paper's qualitative shape: round-robin has the lowest latency curve
 // but the steepest energy curve; the hierarchical framework's energy curve
 // is the lowest throughout; its latency lies between the other two.
+//
+// The three systems are the "fig8/*" scenarios of the builtin registry,
+// share one cached trace, and run concurrently on a ParallelRunner.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -42,13 +45,10 @@ void print_series(const std::vector<hcrl::core::ExperimentResult>& results) {
 
 int main() {
   const std::size_t jobs = hcrl::bench::env_jobs(95000);
-  auto cfg = hcrl::bench::paper_config(30, jobs);
-  cfg.checkpoint_every_jobs = jobs / 19;  // ~19 points like the paper's plots
 
   std::printf("=== Fig. 8: M = 30, %zu jobs ===\n", jobs);
-  const auto results = hcrl::core::run_comparison(
-      cfg, {hcrl::core::SystemKind::kRoundRobin, hcrl::core::SystemKind::kDrlOnly,
-            hcrl::core::SystemKind::kHierarchical});
+  const auto scenarios = hcrl::core::ScenarioRegistry::builtin().make_group("fig8/", jobs);
+  const auto results = hcrl::bench::run_parallel_sweep(scenarios);
   print_series(results);
 
   hcrl::bench::print_result_header();

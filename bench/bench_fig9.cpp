@@ -1,19 +1,21 @@
 // Reproduces Fig. 9 (M = 40): same series as Fig. 8 on the larger cluster.
 // The paper's observation: the DRL-based systems' energy curves barely move
 // when M grows from 30 to 40, while round-robin's energy grows with M.
+//
+// The three systems are the "fig9/*" scenarios of the builtin registry,
+// share one cached trace, and run concurrently on a ParallelRunner — the
+// figure regenerates in roughly the wall time of its slowest system instead
+// of the sum of all three (HCRL_BENCH_THREADS overrides the worker count).
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
 
 int main() {
   const std::size_t jobs = hcrl::bench::env_jobs(95000);
-  auto cfg = hcrl::bench::paper_config(40, jobs);
-  cfg.checkpoint_every_jobs = jobs / 19;
 
   std::printf("=== Fig. 9: M = 40, %zu jobs ===\n", jobs);
-  const auto results = hcrl::core::run_comparison(
-      cfg, {hcrl::core::SystemKind::kRoundRobin, hcrl::core::SystemKind::kDrlOnly,
-            hcrl::core::SystemKind::kHierarchical});
+  const auto scenarios = hcrl::core::ScenarioRegistry::builtin().make_group("fig9/", jobs);
+  const auto results = hcrl::bench::run_parallel_sweep(scenarios);
 
   std::printf("\nFig. 9(a): accumulated latency (1e6 s) vs jobs completed\n");
   std::printf("%10s", "jobs");

@@ -1,7 +1,12 @@
 // Reproduces Table I: accumulated energy, accumulated latency and average
 // power at 95,000 jobs for M = 30 and M = 40, under round-robin, DRL-only
 // and the hierarchical framework.
+//
+// All six cells ("table1/m30/*" + "table1/m40/*" from the builtin registry)
+// run as one ParallelRunner batch; each cluster size shares one cached
+// trace. Results come back order-stable, so rows print in registry order.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 
@@ -26,7 +31,8 @@ constexpr PaperRow kPaperM40[] = {
     {"hierarchical", 224.51, 94.26, 1336.37},
 };
 
-void run_for_machines(std::size_t machines, std::size_t jobs, const PaperRow* paper) {
+void report_for_machines(std::size_t machines, std::size_t jobs, const PaperRow* paper,
+                         const std::vector<hcrl::core::ExperimentResult>& results) {
   std::printf("\n=== Table I, M = %zu, %zu jobs ===\n", machines, jobs);
   std::printf("--- paper reports (at 95,000 jobs on the real Google trace) ---\n");
   for (int i = 0; i < 3; ++i) {
@@ -35,11 +41,6 @@ void run_for_machines(std::size_t machines, std::size_t jobs, const PaperRow* pa
   }
   std::printf("--- this reproduction (synthetic Google-like trace) ---\n");
   hcrl::bench::print_result_header();
-
-  const auto base = hcrl::bench::paper_config(machines, jobs);
-  const auto results = hcrl::core::run_comparison(
-      base, {hcrl::core::SystemKind::kRoundRobin, hcrl::core::SystemKind::kDrlOnly,
-             hcrl::core::SystemKind::kHierarchical});
   for (const auto& r : results) hcrl::bench::print_result_row(r);
 
   const double rr = results[0].final_snapshot.energy_joules;
@@ -61,7 +62,12 @@ void run_for_machines(std::size_t machines, std::size_t jobs, const PaperRow* pa
 
 int main() {
   const std::size_t jobs = hcrl::bench::env_jobs(95000);
-  run_for_machines(30, jobs, kPaperM30);
-  run_for_machines(40, jobs, kPaperM40);
+
+  // One batch: m30's three systems first (registry order), then m40's.
+  const auto scenarios = hcrl::core::ScenarioRegistry::builtin().make_group("table1/", jobs);
+  const auto results = hcrl::bench::run_parallel_sweep(scenarios);
+
+  report_for_machines(30, jobs, kPaperM30, {results.begin(), results.begin() + 3});
+  report_for_machines(40, jobs, kPaperM40, {results.begin() + 3, results.end()});
   return 0;
 }

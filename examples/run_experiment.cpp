@@ -1,52 +1,85 @@
-// Example: declarative experiment runner.
+// Example: declarative experiment runner on the Scenario/Runner API.
 //
 //   ./run_experiment path/to/experiment.conf
 //   ./run_experiment --inline "system = drl-only" "trace.num_jobs = 5000"
+//   ./run_experiment --scenario fig8/hierarchical 5000
+//   ./run_experiment --list-scenarios
 //
 // Config keys are documented in src/core/config_binding.hpp; unknown keys
-// are rejected. Prints the final metrics and (when checkpoints are enabled)
-// the energy/latency series as CSV on stdout.
+// are rejected. --scenario pulls a named scenario from the builtin registry
+// at the given job scale. Checkpoints stream as CSV on stdout *while the
+// simulation runs* (a CsvCheckpointObserver), then the final metrics print.
 #include <cstdio>
+#include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "src/common/config.hpp"
 #include "src/core/config_binding.hpp"
-#include "src/core/experiment.hpp"
+#include "src/core/runner.hpp"
+#include "src/core/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace hcrl;
 
-  common::Config raw;
-  if (argc >= 2 && std::string(argv[1]) == "--inline") {
-    std::ostringstream text;
-    for (int i = 2; i < argc; ++i) text << argv[i] << "\n";
-    raw = common::Config::from_string(text.str());
-  } else if (argc >= 2) {
-    raw = common::Config::from_file(argv[1]);
-  } else {
-    std::fprintf(stderr,
-                 "usage: %s <config-file> | --inline \"key = value\" ...\n"
-                 "running built-in demo config instead.\n\n",
-                 argv[0]);
-    raw = common::Config::from_string(
-        "system = hierarchical\n"
-        "trace.num_jobs = 5000\n"
-        "trace.horizon_s = 31832\n"  // keeps the paper's arrival rate
-        "pretrain_jobs = 1500\n"
-        "checkpoint_every_jobs = 1000\n");
+  const std::string mode = argc >= 2 ? argv[1] : "";
+
+  if (mode == "--list-scenarios") {
+    for (const auto& name : core::ScenarioRegistry::builtin().names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
   }
 
-  core::ExperimentConfig cfg;
+  core::Scenario scenario;
   try {
-    cfg = core::experiment_config_from(raw);
+    if (mode == "--scenario") {
+      if (argc < 3) {
+        std::fprintf(stderr, "usage: %s --scenario <name> [jobs]\n", argv[0]);
+        return 1;
+      }
+      const std::size_t jobs =
+          argc >= 4 ? static_cast<std::size_t>(std::stoull(argv[3])) : 5000;
+      scenario = core::ScenarioRegistry::builtin().make(argv[2], jobs);
+    } else {
+      common::Config raw;
+      if (mode == "--inline") {
+        std::ostringstream text;
+        for (int i = 2; i < argc; ++i) text << argv[i] << "\n";
+        raw = common::Config::from_string(text.str());
+      } else if (argc >= 2) {
+        raw = common::Config::from_file(argv[1]);
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s <config-file> | --inline \"key = value\" ... | "
+                     "--scenario <name> [jobs] | --list-scenarios\n"
+                     "running built-in demo config instead.\n\n",
+                     argv[0]);
+        raw = common::Config::from_string(
+            "system = hierarchical\n"
+            "trace.num_jobs = 5000\n"
+            "trace.horizon_s = 31832\n"  // keeps the paper's arrival rate
+            "pretrain_jobs = 1500\n"
+            "checkpoint_every_jobs = 1000\n");
+      }
+      scenario.config = core::experiment_config_from(raw);
+      scenario.name = core::to_string(scenario.config.system);
+    }
+    scenario.validate();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "config error: %s\n", e.what());
     return 1;
   }
 
-  const core::ExperimentResult r = core::run_experiment(cfg);
+  std::optional<core::CsvCheckpointObserver> csv;
+  if (scenario.materialized().checkpoint_every_jobs > 0) csv.emplace(std::cout);
+  core::SerialRunner runner;
+  const auto results = runner.run({scenario}, csv.has_value() ? &*csv : nullptr);
+  const core::ExperimentResult& r = results.front();
+
   const auto& s = r.final_snapshot;
+  std::printf("\nscenario:          %s\n", scenario.name.c_str());
   std::printf("system:            %s\n", r.system.c_str());
   std::printf("trace:             %s\n", r.trace_stats.to_string().c_str());
   std::printf("jobs completed:    %zu\n", s.jobs_completed);
@@ -55,13 +88,5 @@ int main(int argc, char** argv) {
               s.average_latency_s());
   std::printf("average power:     %.1f W\n", s.average_power_watts);
   std::printf("wall time:         %.1f s\n", r.wall_seconds);
-
-  if (!r.series.empty()) {
-    std::printf("\njobs,sim_time_s,acc_latency_s,energy_kwh,avg_power_w\n");
-    for (const auto& row : r.series) {
-      std::printf("%zu,%.1f,%.1f,%.4f,%.1f\n", row.jobs_completed, row.sim_time_s,
-                  row.accumulated_latency_s, row.energy_kwh, row.average_power_w);
-    }
-  }
   return 0;
 }

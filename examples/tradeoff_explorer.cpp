@@ -1,8 +1,9 @@
 // Example: explore the power/latency trade-off (the Fig. 10 experiment) at
 // laptop scale. Sweeps the local-tier reward weight w of Eqn. (5) and prints
-// a Pareto table, plus the fixed-timeout baselines for contrast.
+// a Pareto table, plus the fixed-timeout baselines for contrast. The sweep
+// cells run as one scenario batch on a ParallelRunner worker pool.
 //
-//   ./tradeoff_explorer [num_jobs]
+//   ./tradeoff_explorer [num_jobs] [threads]   (threads 0 = one per core)
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
   if (argc > 1) jobs = static_cast<std::size_t>(std::stoull(argv[1]));
 
   core::TradeoffOptions opts;
+  opts.threads = argc > 2 ? static_cast<std::size_t>(std::stoull(argv[2])) : 0;
   opts.base.num_servers = 30;
   opts.base.num_groups = 3;
   opts.base.trace.num_jobs = jobs;

@@ -1,10 +1,11 @@
+// run_experiment / run_comparison are source-compatibility wrappers over the
+// composable Scenario/Runner API; the actual driver lives in runner.cpp.
 #include "src/core/experiment.hpp"
 
-#include <chrono>
-#include <memory>
 #include <stdexcept>
 
-#include "src/common/log.hpp"
+#include "src/core/runner.hpp"
+#include "src/core/scenario.hpp"
 
 namespace hcrl::core {
 
@@ -43,138 +44,17 @@ void ExperimentConfig::validate() const {
   }
 }
 
-namespace {
-
-struct PolicyBundle {
-  std::unique_ptr<sim::AllocationPolicy> allocation;
-  std::unique_ptr<sim::PowerPolicy> power;
-  DrlAllocator* drl = nullptr;          // non-owning view when present
-  RlPowerManager* local_rl = nullptr;   // non-owning view when present
-};
-
-PolicyBundle build_policies(const ExperimentConfig& cfg) {
-  PolicyBundle b;
-  switch (cfg.system) {
-    case SystemKind::kRoundRobin:
-      b.allocation = std::make_unique<sim::RoundRobinAllocator>();
-      b.power = std::make_unique<sim::AlwaysOnPolicy>();
-      break;
-    case SystemKind::kLeastLoaded:
-      b.allocation = std::make_unique<sim::LeastLoadedAllocator>();
-      b.power = std::make_unique<sim::ImmediateSleepPolicy>();
-      break;
-    case SystemKind::kFirstFitPacking:
-      b.allocation = std::make_unique<sim::FirstFitPackingAllocator>();
-      b.power = std::make_unique<sim::ImmediateSleepPolicy>();
-      break;
-    case SystemKind::kDrlOnly: {
-      auto drl = std::make_unique<DrlAllocator>(cfg.drl);
-      drl->set_guide(std::make_unique<sim::FirstFitPackingAllocator>());
-      b.drl = drl.get();
-      b.allocation = std::move(drl);
-      b.power = std::make_unique<sim::ImmediateSleepPolicy>();
-      break;
-    }
-    case SystemKind::kDrlFixedTimeout: {
-      auto drl = std::make_unique<DrlAllocator>(cfg.drl);
-      drl->set_guide(std::make_unique<sim::FirstFitPackingAllocator>());
-      b.drl = drl.get();
-      b.allocation = std::move(drl);
-      b.power = std::make_unique<sim::FixedTimeoutPolicy>(cfg.fixed_timeout_s);
-      break;
-    }
-    case SystemKind::kHierarchical: {
-      auto drl = std::make_unique<DrlAllocator>(cfg.drl);
-      drl->set_guide(std::make_unique<sim::FirstFitPackingAllocator>());
-      b.drl = drl.get();
-      b.allocation = std::move(drl);
-      auto local = std::make_unique<RlPowerManager>(cfg.local);
-      b.local_rl = local.get();
-      b.power = std::move(local);
-      break;
-    }
-  }
-  return b;
-}
-
-sim::ClusterConfig cluster_config(const ExperimentConfig& cfg) {
-  sim::ClusterConfig cc;
-  cc.num_servers = cfg.num_servers;
-  cc.server = cfg.server;
-  return cc;
-}
-
-}  // namespace
-
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  ExperimentConfig cfg = config;
-  cfg.finalize();
-  cfg.validate();
-
-  const auto wall_start = std::chrono::steady_clock::now();
-
-  workload::GoogleTraceGenerator generator(cfg.trace);
-  std::vector<sim::Job> jobs = generator.generate();
-  const workload::TraceStats stats = workload::compute_stats(jobs, cfg.trace.horizon_s);
-
-  PolicyBundle policies = build_policies(cfg);
-
-  // ---- offline construction phase (DRL systems only) -----------------------
-  if (policies.drl != nullptr && cfg.pretrain_jobs > 0) {
-    const std::size_t n = std::min(cfg.pretrain_jobs, jobs.size());
-    std::vector<sim::Job> prefix(jobs.begin(), jobs.begin() + static_cast<std::ptrdiff_t>(n));
-    sim::Cluster warmup(cluster_config(cfg), *policies.allocation, *policies.power);
-    warmup.load_jobs(std::move(prefix));
-    warmup.run();
-    policies.drl->end_episode();
-    common::log_info() << to_string(cfg.system) << ": pretrained on " << n << " jobs ("
-                       << policies.drl->train_steps() << " gradient steps)";
-  }
-
-  // ---- measured run ---------------------------------------------------------
-  if (policies.drl != nullptr) policies.drl->set_learning(cfg.learn_during_run);
-  if (policies.local_rl != nullptr) policies.local_rl->set_learning(cfg.learn_during_run);
-
-  sim::Cluster cluster(cluster_config(cfg), *policies.allocation, *policies.power);
-  cluster.load_jobs(std::move(jobs));
-
-  ExperimentResult result;
-  result.system = to_string(cfg.system);
-  std::size_t next_checkpoint =
-      cfg.checkpoint_every_jobs > 0 ? cfg.checkpoint_every_jobs : static_cast<std::size_t>(-1);
-  while (cluster.step()) {
-    if (cluster.metrics().jobs_completed() >= next_checkpoint) {
-      const auto snap = cluster.snapshot();
-      result.series.push_back(CheckpointRow{snap.jobs_completed, snap.now,
-                                            snap.accumulated_latency_s, snap.energy_kwh(),
-                                            snap.average_power_watts});
-      next_checkpoint += cfg.checkpoint_every_jobs;
-    }
-  }
-
-  result.final_snapshot = cluster.snapshot();
-  result.trace_stats = stats;
-  result.servers_on_at_end = cluster.servers_on();
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-  return result;
+  Scenario scenario;
+  scenario.name = to_string(config.system);
+  scenario.config = config;
+  return run_scenario(scenario);
 }
 
 std::vector<ExperimentResult> run_comparison(const ExperimentConfig& base,
                                              const std::vector<SystemKind>& systems) {
-  std::vector<ExperimentResult> results;
-  results.reserve(systems.size());
-  for (SystemKind kind : systems) {
-    ExperimentConfig cfg = base;
-    cfg.system = kind;
-    results.push_back(run_experiment(cfg));
-    const auto& r = results.back();
-    common::log_info() << r.system << ": energy=" << r.final_snapshot.energy_kwh() << " kWh"
-                       << " latency=" << r.final_snapshot.accumulated_latency_s / 1e6 << "e6 s"
-                       << " power=" << r.final_snapshot.average_power_watts << " W"
-                       << " (wall " << r.wall_seconds << " s)";
-  }
-  return results;
+  LogObserver log;
+  return SerialRunner().run(comparison_scenarios(base, systems), &log);
 }
 
 }  // namespace hcrl::core

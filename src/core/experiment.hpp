@@ -80,10 +80,14 @@ struct ExperimentResult {
 };
 
 /// Run one full experiment (trace generation + optional pretraining +
-/// measured simulation).
+/// measured simulation). Thin wrapper over run_scenario() in
+/// src/core/runner.hpp; prefer the Scenario/Runner API for sweeps — it
+/// names scenarios, validates them up front, shares traces explicitly and
+/// scales across cores (ParallelRunner).
 ExperimentResult run_experiment(const ExperimentConfig& config);
 
-/// Run the same trace through several systems (shares the generated trace).
+/// Run the same trace through several systems (shares one cached trace).
+/// Wrapper over SerialRunner + comparison_scenarios() (src/core/scenario.hpp).
 std::vector<ExperimentResult> run_comparison(const ExperimentConfig& base,
                                              const std::vector<SystemKind>& systems);
 

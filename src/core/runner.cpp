@@ -1,0 +1,243 @@
+#include "src/core/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/common/log.hpp"
+#include "src/core/global_tier.hpp"
+#include "src/core/local_tier.hpp"
+#include "src/sim/cluster.hpp"
+
+namespace hcrl::core {
+
+void RunObserver::on_checkpoint(const Scenario&, const CheckpointRow&) {}
+void RunObserver::on_complete(const Scenario&, const ExperimentResult&) {}
+
+namespace {
+
+// ---- system assembly (moved here from experiment.cpp) ----------------------
+
+struct PolicyBundle {
+  std::unique_ptr<sim::AllocationPolicy> allocation;
+  std::unique_ptr<sim::PowerPolicy> power;
+  DrlAllocator* drl = nullptr;          // non-owning view when present
+  RlPowerManager* local_rl = nullptr;   // non-owning view when present
+};
+
+PolicyBundle build_policies(const ExperimentConfig& cfg) {
+  PolicyBundle b;
+  switch (cfg.system) {
+    case SystemKind::kRoundRobin:
+      b.allocation = std::make_unique<sim::RoundRobinAllocator>();
+      b.power = std::make_unique<sim::AlwaysOnPolicy>();
+      break;
+    case SystemKind::kLeastLoaded:
+      b.allocation = std::make_unique<sim::LeastLoadedAllocator>();
+      b.power = std::make_unique<sim::ImmediateSleepPolicy>();
+      break;
+    case SystemKind::kFirstFitPacking:
+      b.allocation = std::make_unique<sim::FirstFitPackingAllocator>();
+      b.power = std::make_unique<sim::ImmediateSleepPolicy>();
+      break;
+    case SystemKind::kDrlOnly: {
+      auto drl = std::make_unique<DrlAllocator>(cfg.drl);
+      drl->set_guide(std::make_unique<sim::FirstFitPackingAllocator>());
+      b.drl = drl.get();
+      b.allocation = std::move(drl);
+      b.power = std::make_unique<sim::ImmediateSleepPolicy>();
+      break;
+    }
+    case SystemKind::kDrlFixedTimeout: {
+      auto drl = std::make_unique<DrlAllocator>(cfg.drl);
+      drl->set_guide(std::make_unique<sim::FirstFitPackingAllocator>());
+      b.drl = drl.get();
+      b.allocation = std::move(drl);
+      b.power = std::make_unique<sim::FixedTimeoutPolicy>(cfg.fixed_timeout_s);
+      break;
+    }
+    case SystemKind::kHierarchical: {
+      auto drl = std::make_unique<DrlAllocator>(cfg.drl);
+      drl->set_guide(std::make_unique<sim::FirstFitPackingAllocator>());
+      b.drl = drl.get();
+      b.allocation = std::move(drl);
+      auto local = std::make_unique<RlPowerManager>(cfg.local);
+      b.local_rl = local.get();
+      b.power = std::move(local);
+      break;
+    }
+  }
+  return b;
+}
+
+sim::ClusterConfig cluster_config(const ExperimentConfig& cfg) {
+  sim::ClusterConfig cc;
+  cc.num_servers = cfg.num_servers;
+  cc.server = cfg.server;
+  return cc;
+}
+
+void validate_all(const std::vector<Scenario>& scenarios) {
+  for (const Scenario& s : scenarios) s.validate();
+}
+
+/// Serializes observer calls from concurrent workers.
+class SerializedObserver final : public RunObserver {
+ public:
+  explicit SerializedObserver(RunObserver& inner) : inner_(inner) {}
+  void on_checkpoint(const Scenario& scenario, const CheckpointRow& row) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_.on_checkpoint(scenario, row);
+  }
+  void on_complete(const Scenario& scenario, const ExperimentResult& result) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_.on_complete(scenario, result);
+  }
+
+ private:
+  RunObserver& inner_;
+  std::mutex mutex_;
+};
+
+}  // namespace
+
+// ---- run_scenario ----------------------------------------------------------
+
+ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
+  scenario.validate();
+  const ExperimentConfig cfg = scenario.materialized();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  Trace trace = scenario.effective_trace()->produce();
+
+  PolicyBundle policies = build_policies(cfg);
+
+  // ---- offline construction phase (DRL systems only) -----------------------
+  if (policies.drl != nullptr && cfg.pretrain_jobs > 0) {
+    const std::size_t n = std::min(cfg.pretrain_jobs, trace.jobs.size());
+    std::vector<sim::Job> prefix(trace.jobs.begin(),
+                                 trace.jobs.begin() + static_cast<std::ptrdiff_t>(n));
+    sim::Cluster warmup(cluster_config(cfg), *policies.allocation, *policies.power);
+    warmup.load_jobs(std::move(prefix));
+    warmup.run();
+    policies.drl->end_episode();
+    common::log_info() << scenario.name << ": pretrained on " << n << " jobs ("
+                       << policies.drl->train_steps() << " gradient steps)";
+  }
+
+  // ---- measured run ---------------------------------------------------------
+  if (policies.drl != nullptr) policies.drl->set_learning(cfg.learn_during_run);
+  if (policies.local_rl != nullptr) policies.local_rl->set_learning(cfg.learn_during_run);
+
+  sim::Cluster cluster(cluster_config(cfg), *policies.allocation, *policies.power);
+  cluster.load_jobs(std::move(trace.jobs));
+
+  ExperimentResult result;
+  result.system = to_string(cfg.system);
+  std::size_t next_checkpoint =
+      cfg.checkpoint_every_jobs > 0 ? cfg.checkpoint_every_jobs : static_cast<std::size_t>(-1);
+  while (cluster.step()) {
+    if (cluster.metrics().jobs_completed() >= next_checkpoint) {
+      const auto snap = cluster.snapshot();
+      const CheckpointRow row{snap.jobs_completed, snap.now, snap.accumulated_latency_s,
+                              snap.energy_kwh(), snap.average_power_watts};
+      result.series.push_back(row);
+      if (observer != nullptr) observer->on_checkpoint(scenario, row);
+      next_checkpoint += cfg.checkpoint_every_jobs;
+    }
+  }
+
+  result.final_snapshot = cluster.snapshot();
+  result.trace_stats = trace.stats;
+  result.servers_on_at_end = cluster.servers_on();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  if (observer != nullptr) observer->on_complete(scenario, result);
+  return result;
+}
+
+// ---- SerialRunner ----------------------------------------------------------
+
+std::vector<ExperimentResult> SerialRunner::run(const std::vector<Scenario>& scenarios,
+                                                RunObserver* observer) {
+  validate_all(scenarios);
+  std::vector<ExperimentResult> results;
+  results.reserve(scenarios.size());
+  for (const Scenario& s : scenarios) results.push_back(run_scenario(s, observer));
+  return results;
+}
+
+// ---- ParallelRunner --------------------------------------------------------
+
+ParallelRunner::ParallelRunner(std::size_t num_workers) : num_workers_(num_workers) {
+  if (num_workers_ == 0) {
+    num_workers_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+std::vector<ExperimentResult> ParallelRunner::run(const std::vector<Scenario>& scenarios,
+                                                  RunObserver* observer) {
+  validate_all(scenarios);
+  const std::size_t n = scenarios.size();
+  if (n == 0) return {};
+
+  std::unique_ptr<SerializedObserver> serialized;
+  if (observer != nullptr) serialized = std::make_unique<SerializedObserver>(*observer);
+  RunObserver* worker_observer = serialized.get();
+
+  std::vector<ExperimentResult> results(n);
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        results[i] = run_scenario(scenarios[i], worker_observer);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(std::min(num_workers_, n));
+  for (std::size_t t = 0; t < std::min(num_workers_, n); ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  for (const std::exception_ptr& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+// ---- stock observers -------------------------------------------------------
+
+CsvCheckpointObserver::CsvCheckpointObserver(std::ostream& out) : out_(out) {
+  out_ << "scenario,jobs,sim_time_s,acc_latency_s,energy_kwh,avg_power_w\n";
+}
+
+void CsvCheckpointObserver::on_checkpoint(const Scenario& scenario, const CheckpointRow& row) {
+  out_ << scenario.name << ',' << row.jobs_completed << ',' << row.sim_time_s << ','
+       << row.accumulated_latency_s << ',' << row.energy_kwh << ',' << row.average_power_w
+       << '\n';
+}
+
+void LogObserver::on_complete(const Scenario& scenario, const ExperimentResult& result) {
+  const auto& s = result.final_snapshot;
+  common::log_info() << scenario.name << ": energy=" << s.energy_kwh() << " kWh"
+                     << " latency=" << s.accumulated_latency_s / 1e6 << "e6 s"
+                     << " power=" << s.average_power_watts << " W"
+                     << " (wall " << result.wall_seconds << " s)";
+}
+
+}  // namespace hcrl::core

@@ -1,0 +1,197 @@
+#include "src/core/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/rng.hpp"
+#include "src/sim/types.hpp"
+
+namespace hcrl::core {
+
+// ---- Scenario --------------------------------------------------------------
+
+ExperimentConfig Scenario::materialized() const {
+  ExperimentConfig cfg = config;
+  if (seed != 0) {
+    // One SplitMix64 stream per scenario: trace, global tier and local tier
+    // get independent seeds, all reproducible from the single scenario seed.
+    common::SplitMix64 sm(seed);
+    cfg.trace.seed = sm.next();  // only reaches the workload when trace == null
+    cfg.drl.seed = sm.next();
+    cfg.local.seed = sm.next();
+  }
+  cfg.finalize();
+  return cfg;
+}
+
+std::shared_ptr<const TraceSource> Scenario::effective_trace() const {
+  if (trace != nullptr) return trace;
+  return std::make_shared<SyntheticTraceSource>(materialized().trace);
+}
+
+void Scenario::validate() const {
+  try {
+    materialized().validate();
+  } catch (const std::exception& e) {
+    throw std::invalid_argument("scenario '" + name + "': " + e.what());
+  }
+}
+
+// ---- helpers ---------------------------------------------------------------
+
+std::vector<Scenario> comparison_scenarios(const ExperimentConfig& base,
+                                           const std::vector<SystemKind>& systems,
+                                           const std::string& name_prefix) {
+  const auto shared = make_cached(std::make_shared<SyntheticTraceSource>(base.trace));
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(systems.size());
+  for (SystemKind kind : systems) {
+    Scenario s;
+    s.name = name_prefix + to_string(kind);
+    s.config = base;
+    s.config.system = kind;
+    s.trace = shared;
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+ExperimentConfig paper_experiment_config(std::size_t servers, std::size_t jobs) {
+  ExperimentConfig cfg;
+  cfg.num_servers = servers;
+  // K must divide M; the paper varies K in 2..4 (30 -> 3 groups, 40 -> 4).
+  cfg.num_groups = servers % 3 == 0 ? 3 : (servers % 4 == 0 ? 4 : 2);
+  cfg.trace.num_jobs = jobs;
+  cfg.trace.horizon_s = sim::kSecondsPerWeek * static_cast<double>(jobs) / 95000.0;
+  cfg.trace.seed = 2011;  // the Google trace month
+  cfg.pretrain_jobs = jobs / 4;
+  cfg.checkpoint_every_jobs = 0;
+  return cfg;
+}
+
+void share_synthetic_traces(std::vector<Scenario>& scenarios) {
+  std::vector<std::pair<workload::GeneratorOptions, std::shared_ptr<const TraceSource>>> groups;
+  for (Scenario& s : scenarios) {
+    if (s.trace != nullptr) continue;
+    const workload::GeneratorOptions opts = s.materialized().trace;
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == opts; });
+    if (it == groups.end()) {
+      groups.emplace_back(opts, make_cached(std::make_shared<SyntheticTraceSource>(opts)));
+      it = std::prev(groups.end());
+    }
+    s.trace = it->second;
+  }
+}
+
+// ---- ScenarioRegistry ------------------------------------------------------
+
+void ScenarioRegistry::add(const std::string& name, Factory factory) {
+  if (factory == nullptr) {
+    throw std::invalid_argument("ScenarioRegistry: null factory for '" + name + "'");
+  }
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    throw std::invalid_argument("ScenarioRegistry: duplicate scenario '" + name + "'");
+  }
+  order_.push_back(name);
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+Scenario ScenarioRegistry::make(const std::string& name, std::size_t jobs) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& n : order_) known += (known.empty() ? "" : ", ") + n;
+    throw std::invalid_argument("ScenarioRegistry: unknown scenario '" + name +
+                                "' (known: " + known + ")");
+  }
+  Scenario s = it->second(jobs);
+  if (s.name.empty()) s.name = name;
+  return s;
+}
+
+std::vector<Scenario> ScenarioRegistry::make_group(const std::string& prefix,
+                                                   std::size_t jobs) const {
+  std::vector<Scenario> group;
+  for (const auto& name : order_) {
+    if (name.rfind(prefix, 0) == 0) group.push_back(make(name, jobs));
+  }
+  if (group.empty()) {
+    throw std::invalid_argument("ScenarioRegistry: no scenario matches prefix '" + prefix + "'");
+  }
+  share_synthetic_traces(group);
+  return group;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const { return order_; }
+
+namespace {
+
+Scenario paper_scenario(std::size_t servers, SystemKind kind, std::size_t jobs,
+                        bool with_checkpoints) {
+  Scenario s;
+  s.config = paper_experiment_config(servers, jobs);
+  s.config.system = kind;
+  if (with_checkpoints) {
+    // ~19 plot points, like the paper's figures.
+    s.config.checkpoint_every_jobs = std::max<std::size_t>(1, jobs / 19);
+  }
+  return s;
+}
+
+Scenario tiny_scenario(SystemKind kind, std::size_t jobs) {
+  Scenario s;
+  s.config.system = kind;
+  s.config.num_servers = 6;
+  s.config.num_groups = 2;
+  s.config.trace.num_jobs = jobs;
+  s.config.trace.horizon_s = static_cast<double>(jobs) * 6.4;  // paper-like rate
+  s.config.trace.seed = 21;
+  s.config.pretrain_jobs = jobs / 4;
+  s.config.checkpoint_every_jobs = 100;
+  return s;
+}
+
+constexpr SystemKind kPaperSystems[] = {SystemKind::kRoundRobin, SystemKind::kDrlOnly,
+                                        SystemKind::kHierarchical};
+constexpr SystemKind kAllSystems[] = {SystemKind::kRoundRobin,      SystemKind::kDrlOnly,
+                                      SystemKind::kHierarchical,    SystemKind::kDrlFixedTimeout,
+                                      SystemKind::kLeastLoaded,     SystemKind::kFirstFitPacking};
+
+ScenarioRegistry build_builtin() {
+  ScenarioRegistry r;
+  for (SystemKind kind : kPaperSystems) {
+    r.add("fig8/" + to_string(kind),
+          [kind](std::size_t jobs) { return paper_scenario(30, kind, jobs, true); });
+  }
+  for (SystemKind kind : kPaperSystems) {
+    r.add("fig9/" + to_string(kind),
+          [kind](std::size_t jobs) { return paper_scenario(40, kind, jobs, true); });
+  }
+  for (SystemKind kind : kPaperSystems) {
+    r.add("table1/m30/" + to_string(kind),
+          [kind](std::size_t jobs) { return paper_scenario(30, kind, jobs, false); });
+  }
+  for (SystemKind kind : kPaperSystems) {
+    r.add("table1/m40/" + to_string(kind),
+          [kind](std::size_t jobs) { return paper_scenario(40, kind, jobs, false); });
+  }
+  for (SystemKind kind : kAllSystems) {
+    r.add("tiny/" + to_string(kind),
+          [kind](std::size_t jobs) { return tiny_scenario(kind, jobs); });
+  }
+  return r;
+}
+
+}  // namespace
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry registry = build_builtin();
+  return registry;
+}
+
+}  // namespace hcrl::core

@@ -1,0 +1,98 @@
+// Scenario: a named, self-contained experiment description.
+//
+// The paper's evaluation (§VII) is a grid of scenarios — system kind ×
+// cluster size × trace — so the experiment API treats "one cell of that
+// grid" as a value: a name (for logs, errors and result tables), an
+// ExperimentConfig, an optional TraceSource (null means "synthesize from
+// config.trace"), and a scenario seed that re-derives every stochastic
+// stream so sweeps can replicate a scenario under independent randomness.
+//
+// ScenarioRegistry maps names to scenario factories so examples, tests and
+// the paper-figure benches say `registry.make("fig9/hierarchical", jobs)`
+// instead of hand-assembling configs. `builtin()` carries the paper grid
+// (fig8/fig9/table1 plus the tiny test-scale systems).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.hpp"
+#include "src/core/trace_source.hpp"
+
+namespace hcrl::core {
+
+struct Scenario {
+  std::string name;
+  ExperimentConfig config;
+  /// Workload producer; null synthesizes from `config.trace`. Shared (and
+  /// usually cached) across scenarios when several systems must see the
+  /// same trace.
+  std::shared_ptr<const TraceSource> trace;
+  /// Scenario seed. 0 keeps the seeds already in `config`; nonzero
+  /// deterministically re-derives the trace seed (only when `trace` is
+  /// null) and the global/local agent seeds via SplitMix64.
+  std::uint64_t seed = 0;
+
+  /// Config with the scenario seed applied and dimensions finalized.
+  ExperimentConfig materialized() const;
+  /// `trace` if set, else a SyntheticTraceSource over the materialized
+  /// config's generator options.
+  std::shared_ptr<const TraceSource> effective_trace() const;
+  /// Validate the materialized config; errors are prefixed with the
+  /// scenario name so a failing cell of a sweep is identifiable.
+  void validate() const;
+};
+
+/// Scenarios for running `systems` on one shared, cached trace built from
+/// `base.trace` — the explicit form of the old run_comparison sharing.
+/// Names are `<prefix><system-name>`.
+std::vector<Scenario> comparison_scenarios(const ExperimentConfig& base,
+                                           const std::vector<SystemKind>& systems,
+                                           const std::string& name_prefix = "");
+
+/// Paper-faithful base configuration: M servers, one-week-equivalent trace
+/// scaled to `jobs` (the paper's 95,000-job week), seed 2011, offline
+/// construction on the first quarter of the trace.
+ExperimentConfig paper_experiment_config(std::size_t servers, std::size_t jobs);
+
+class ScenarioRegistry {
+ public:
+  /// Factories take the trace scale in jobs; every other knob is fixed by
+  /// the registered recipe.
+  using Factory = std::function<Scenario(std::size_t jobs)>;
+
+  /// Register a factory; throws on duplicate names.
+  void add(const std::string& name, Factory factory);
+  bool contains(const std::string& name) const;
+  /// Build one scenario; throws std::invalid_argument on unknown names
+  /// (the message lists the known ones).
+  Scenario make(const std::string& name, std::size_t jobs) const;
+  /// Build every scenario whose name starts with `prefix` (in registration
+  /// order), then share one cached trace source per group of scenarios
+  /// with identical effective generator options — so a figure's systems
+  /// run on one materialized trace. Throws if nothing matches.
+  std::vector<Scenario> make_group(const std::string& prefix, std::size_t jobs) const;
+  /// All registered names, registration order.
+  std::vector<std::string> names() const;
+
+  /// The built-in paper grid: "fig8/<system>" (M=30), "fig9/<system>"
+  /// (M=40), "table1/m30/<system>", "table1/m40/<system>" for round-robin,
+  /// drl-only and hierarchical; "tiny/<system>" for all six systems at
+  /// test scale (6 servers).
+  static const ScenarioRegistry& builtin();
+
+ private:
+  std::vector<std::string> order_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Share trace materialization across `scenarios`: every group of
+/// scenarios that (a) has no explicit source and (b) resolves to identical
+/// generator options gets one shared CachedTraceSource. In-place.
+void share_synthetic_traces(std::vector<Scenario>& scenarios);
+
+}  // namespace hcrl::core

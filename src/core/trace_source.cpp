@@ -1,0 +1,102 @@
+#include "src/core/trace_source.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/workload/trace_io.hpp"
+
+namespace hcrl::core {
+
+double infer_horizon_s(const std::vector<sim::Job>& jobs) {
+  double horizon = 0.0;
+  for (const auto& j : jobs) horizon = std::max(horizon, j.arrival + j.duration);
+  return horizon;
+}
+
+// ---- SyntheticTraceSource --------------------------------------------------
+
+SyntheticTraceSource::SyntheticTraceSource(const workload::GeneratorOptions& options)
+    : options_(options) {
+  options_.validate();
+}
+
+Trace SyntheticTraceSource::produce() const {
+  Trace t;
+  t.jobs = workload::GoogleTraceGenerator(options_).generate();
+  t.horizon_s = options_.horizon_s;
+  t.stats = workload::compute_stats(t.jobs, t.horizon_s);
+  return t;
+}
+
+std::string SyntheticTraceSource::describe() const {
+  std::ostringstream os;
+  os << "synthetic(jobs=" << options_.num_jobs << ", horizon=" << options_.horizon_s
+     << "s, seed=" << options_.seed << ")";
+  return os.str();
+}
+
+// ---- FileTraceSource -------------------------------------------------------
+
+FileTraceSource::FileTraceSource(std::string path, double horizon_s)
+    : path_(std::move(path)), horizon_s_(horizon_s) {
+  if (path_.empty()) throw std::invalid_argument("FileTraceSource: empty path");
+  if (horizon_s_ < 0.0) throw std::invalid_argument("FileTraceSource: negative horizon");
+}
+
+Trace FileTraceSource::produce() const {
+  Trace t;
+  t.jobs = workload::read_trace_file(path_);
+  t.horizon_s = horizon_s_ > 0.0 ? horizon_s_ : infer_horizon_s(t.jobs);
+  t.stats = workload::compute_stats(t.jobs, t.horizon_s);
+  return t;
+}
+
+std::string FileTraceSource::describe() const { return "file(" + path_ + ")"; }
+
+// ---- InMemoryTraceSource ---------------------------------------------------
+
+InMemoryTraceSource::InMemoryTraceSource(std::vector<sim::Job> jobs, double horizon_s,
+                                         std::string label)
+    : label_(std::move(label)) {
+  if (horizon_s < 0.0) throw std::invalid_argument("InMemoryTraceSource: negative horizon");
+  trace_.jobs = std::move(jobs);
+  trace_.horizon_s = horizon_s > 0.0 ? horizon_s : infer_horizon_s(trace_.jobs);
+  trace_.stats = workload::compute_stats(trace_.jobs, trace_.horizon_s);
+}
+
+Trace InMemoryTraceSource::produce() const { return trace_; }
+
+std::string InMemoryTraceSource::describe() const {
+  return label_ + "(" + std::to_string(trace_.jobs.size()) + " jobs)";
+}
+
+// ---- CachedTraceSource -----------------------------------------------------
+
+CachedTraceSource::CachedTraceSource(std::shared_ptr<const TraceSource> inner)
+    : inner_(std::move(inner)) {
+  if (inner_ == nullptr) throw std::invalid_argument("CachedTraceSource: null inner source");
+}
+
+Trace CachedTraceSource::produce() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!cache_.has_value()) {
+    cache_ = inner_->produce();
+    ++inner_productions_;
+  }
+  return *cache_;
+}
+
+std::string CachedTraceSource::describe() const { return "cached(" + inner_->describe() + ")"; }
+
+std::size_t CachedTraceSource::inner_productions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inner_productions_;
+}
+
+std::shared_ptr<const TraceSource> make_cached(std::shared_ptr<const TraceSource> inner) {
+  return std::make_shared<CachedTraceSource>(std::move(inner));
+}
+
+}  // namespace hcrl::core

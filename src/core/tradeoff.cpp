@@ -1,8 +1,13 @@
 #include "src/core/tradeoff.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "src/common/log.hpp"
+#include "src/core/runner.hpp"
+#include "src/core/scenario.hpp"
 
 namespace hcrl::core {
 
@@ -27,30 +32,61 @@ TradeoffResult explore_tradeoff(const TradeoffOptions& options) {
   if (options.local_weights.empty()) {
     throw std::invalid_argument("explore_tradeoff: no local weights");
   }
-  TradeoffResult result;
+
+  // The whole grid as one scenario batch: the hierarchical curve first, then
+  // one fixed-timeout curve per timeout. Every cell runs on the same trace
+  // (one shared cached source), and the batch order is the result order.
+  struct Cell {
+    std::string curve_label;
+    double sweep = 0.0;
+  };
+  std::vector<Scenario> scenarios;
+  std::vector<Cell> cells;
 
   for (double w : options.local_weights) {
-    ExperimentConfig cfg = options.base;
-    cfg.system = SystemKind::kHierarchical;
-    cfg.local.w = w;
-    const ExperimentResult r = run_experiment(cfg);
-    result.hierarchical.push_back(to_point(r, "hierarchical", w));
-    common::log_info() << "tradeoff hierarchical w=" << w
+    Scenario s;
+    s.name = "hierarchical/w=" + std::to_string(w);
+    s.config = options.base;
+    s.config.system = SystemKind::kHierarchical;
+    s.config.local.w = w;
+    scenarios.push_back(std::move(s));
+    cells.push_back({"hierarchical", w});
+  }
+  for (double timeout : options.fixed_timeouts) {
+    const std::string label = "fixed-timeout-" + std::to_string(static_cast<int>(timeout));
+    for (double w_vms : options.global_vm_weights) {
+      Scenario s;
+      s.name = label + "/w_vms=" + std::to_string(w_vms);
+      s.config = options.base;
+      s.config.system = SystemKind::kDrlFixedTimeout;
+      s.config.fixed_timeout_s = timeout;
+      s.config.drl.w_vms = w_vms;
+      scenarios.push_back(std::move(s));
+      cells.push_back({label, w_vms});
+    }
+  }
+  share_synthetic_traces(scenarios);
+
+  std::vector<ExperimentResult> results;
+  if (options.threads == 1) {
+    results = SerialRunner().run(scenarios);
+  } else {
+    results = ParallelRunner(options.threads).run(scenarios);
+  }
+
+  TradeoffResult result;
+  std::size_t i = 0;
+  for (; i < options.local_weights.size(); ++i) {
+    result.hierarchical.push_back(to_point(results[i], cells[i].curve_label, cells[i].sweep));
+    common::log_info() << "tradeoff hierarchical w=" << cells[i].sweep
                        << " latency/job=" << result.hierarchical.back().avg_latency_s
                        << "s energy/job=" << result.hierarchical.back().avg_energy_wh << "Wh";
   }
-
-  for (double timeout : options.fixed_timeouts) {
+  for (std::size_t t = 0; t < options.fixed_timeouts.size(); ++t) {
     std::vector<TradeoffPoint> curve;
-    for (double w_vms : options.global_vm_weights) {
-      ExperimentConfig cfg = options.base;
-      cfg.system = SystemKind::kDrlFixedTimeout;
-      cfg.fixed_timeout_s = timeout;
-      cfg.drl.w_vms = w_vms;
-      const ExperimentResult r = run_experiment(cfg);
-      const std::string label = "fixed-timeout-" + std::to_string(static_cast<int>(timeout));
-      curve.push_back(to_point(r, label, w_vms));
-      common::log_info() << "tradeoff " << label << " w_vms=" << w_vms
+    for (std::size_t k = 0; k < options.global_vm_weights.size(); ++k, ++i) {
+      curve.push_back(to_point(results[i], cells[i].curve_label, cells[i].sweep));
+      common::log_info() << "tradeoff " << cells[i].curve_label << " w_vms=" << cells[i].sweep
                          << " latency/job=" << curve.back().avg_latency_s
                          << "s energy/job=" << curve.back().avg_energy_wh << "Wh";
     }

@@ -114,7 +114,9 @@ double Cluster::mean_cpu_utilization() const {
 
 std::size_t Cluster::servers_on() const {
   std::size_t n = 0;
-  for (const Server& s : servers_) n += s.is_on() ? 1 : 0;
+  for (const Server& s : servers_) {
+    if (s.is_on()) ++n;
+  }
   return n;
 }
 

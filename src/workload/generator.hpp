@@ -67,6 +67,9 @@ struct GeneratorOptions {
   double mean_calm_s = 1500.0;
 
   void validate() const;
+
+  /// Field-wise equality: two option sets produce the same trace iff equal.
+  bool operator==(const GeneratorOptions&) const = default;
 };
 
 struct TraceStats {

@@ -1,0 +1,352 @@
+// The Scenario/Runner experiment API: trace sources, the scenario registry,
+// up-front validation, observers, and — the load-bearing property — that a
+// ParallelRunner produces bit-identical results to a SerialRunner for the
+// same scenario batch, regardless of worker count and completion order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/runner.hpp"
+#include "src/core/scenario.hpp"
+#include "src/core/trace_source.hpp"
+#include "src/workload/trace_io.hpp"
+
+namespace hcrl::core {
+namespace {
+
+// Bit-identical comparison (wall_seconds excluded: it measures this process,
+// not the simulation).
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.system, b.system);
+  EXPECT_EQ(a.servers_on_at_end, b.servers_on_at_end);
+
+  EXPECT_EQ(a.final_snapshot.now, b.final_snapshot.now);
+  EXPECT_EQ(a.final_snapshot.jobs_arrived, b.final_snapshot.jobs_arrived);
+  EXPECT_EQ(a.final_snapshot.jobs_completed, b.final_snapshot.jobs_completed);
+  EXPECT_EQ(a.final_snapshot.energy_joules, b.final_snapshot.energy_joules);
+  EXPECT_EQ(a.final_snapshot.accumulated_latency_s, b.final_snapshot.accumulated_latency_s);
+  EXPECT_EQ(a.final_snapshot.average_power_watts, b.final_snapshot.average_power_watts);
+  EXPECT_EQ(a.final_snapshot.jobs_in_system, b.final_snapshot.jobs_in_system);
+  EXPECT_EQ(a.final_snapshot.reliability_penalty, b.final_snapshot.reliability_penalty);
+
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].jobs_completed, b.series[i].jobs_completed);
+    EXPECT_EQ(a.series[i].sim_time_s, b.series[i].sim_time_s);
+    EXPECT_EQ(a.series[i].accumulated_latency_s, b.series[i].accumulated_latency_s);
+    EXPECT_EQ(a.series[i].energy_kwh, b.series[i].energy_kwh);
+    EXPECT_EQ(a.series[i].average_power_w, b.series[i].average_power_w);
+  }
+
+  EXPECT_EQ(a.trace_stats.num_jobs, b.trace_stats.num_jobs);
+  EXPECT_EQ(a.trace_stats.mean_interarrival_s, b.trace_stats.mean_interarrival_s);
+  EXPECT_EQ(a.trace_stats.mean_duration_s, b.trace_stats.mean_duration_s);
+  EXPECT_EQ(a.trace_stats.mean_cpu, b.trace_stats.mean_cpu);
+  EXPECT_EQ(a.trace_stats.total_cpu_seconds, b.trace_stats.total_cpu_seconds);
+}
+
+// ---- trace sources ---------------------------------------------------------
+
+class CountingSource final : public TraceSource {
+ public:
+  explicit CountingSource(workload::GeneratorOptions opts) : inner_(opts) {}
+  Trace produce() const override {
+    ++productions;
+    return inner_.produce();
+  }
+  std::string describe() const override { return "counting"; }
+  mutable std::atomic<int> productions{0};
+
+ private:
+  SyntheticTraceSource inner_;
+};
+
+workload::GeneratorOptions tiny_trace(std::size_t jobs = 300) {
+  workload::GeneratorOptions o;
+  o.num_jobs = jobs;
+  o.horizon_s = static_cast<double>(jobs) * 6.4;
+  o.seed = 21;
+  return o;
+}
+
+TEST(TraceSource, SyntheticProducesSortedStatsAndHorizon) {
+  const SyntheticTraceSource source(tiny_trace());
+  const Trace t = source.produce();
+  ASSERT_EQ(t.jobs.size(), 300u);
+  EXPECT_EQ(t.stats.num_jobs, 300u);
+  EXPECT_DOUBLE_EQ(t.horizon_s, 300.0 * 6.4);
+  for (std::size_t i = 1; i < t.jobs.size(); ++i) {
+    EXPECT_GE(t.jobs[i].arrival, t.jobs[i - 1].arrival);
+  }
+}
+
+TEST(TraceSource, CachedProducesInnerExactlyOnce) {
+  auto counting = std::make_shared<CountingSource>(tiny_trace());
+  const CachedTraceSource cached(counting);
+  const Trace a = cached.produce();
+  const Trace b = cached.produce();
+  EXPECT_EQ(counting->productions.load(), 1);
+  EXPECT_EQ(cached.inner_productions(), 1u);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].arrival, b.jobs[i].arrival);
+    EXPECT_EQ(a.jobs[i].duration, b.jobs[i].duration);
+  }
+}
+
+TEST(TraceSource, InMemoryInfersHorizonAndKeepsJobs) {
+  const Trace base = SyntheticTraceSource(tiny_trace(50)).produce();
+  const InMemoryTraceSource source(base.jobs);
+  const Trace t = source.produce();
+  EXPECT_EQ(t.jobs.size(), 50u);
+  EXPECT_DOUBLE_EQ(t.horizon_s, infer_horizon_s(base.jobs));
+  EXPECT_GT(t.horizon_s, 0.0);
+}
+
+TEST(TraceSource, FileRoundTripsThroughTraceIo) {
+  const Trace base = SyntheticTraceSource(tiny_trace(40)).produce();
+  const std::string path = testing::TempDir() + "runner_test_trace.csv";
+  workload::write_trace_file(path, base.jobs);
+
+  const FileTraceSource source(path);
+  const Trace t = source.produce();
+  ASSERT_EQ(t.jobs.size(), base.jobs.size());
+  for (std::size_t i = 0; i < t.jobs.size(); ++i) {
+    EXPECT_NEAR(t.jobs[i].arrival, base.jobs[i].arrival, 1e-6);
+    EXPECT_NEAR(t.jobs[i].duration, base.jobs[i].duration, 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceSource, ScenarioRunsOnFileTrace) {
+  const Trace base = SyntheticTraceSource(tiny_trace(120)).produce();
+  const std::string path = testing::TempDir() + "runner_test_scenario_trace.csv";
+  workload::write_trace_file(path, base.jobs);
+
+  Scenario s = ScenarioRegistry::builtin().make("tiny/round-robin", 120);
+  s.name = "file-backed";
+  s.trace = make_cached(std::make_shared<FileTraceSource>(path));
+  const ExperimentResult r = run_scenario(s);
+  EXPECT_EQ(r.final_snapshot.jobs_completed, 120u);
+  EXPECT_EQ(r.trace_stats.num_jobs, 120u);
+  std::remove(path.c_str());
+}
+
+// ---- scenarios and the registry --------------------------------------------
+
+TEST(Scenario, SeedDerivesAllStochasticStreams) {
+  Scenario s = ScenarioRegistry::builtin().make("tiny/hierarchical", 200);
+  s.seed = 99;
+  const ExperimentConfig cfg = s.materialized();
+  EXPECT_NE(cfg.trace.seed, s.config.trace.seed);
+  EXPECT_NE(cfg.drl.seed, s.config.drl.seed);
+  EXPECT_NE(cfg.local.seed, s.config.local.seed);
+  // Deterministic: materializing twice gives the same derived seeds.
+  const ExperimentConfig cfg2 = s.materialized();
+  EXPECT_EQ(cfg.trace.seed, cfg2.trace.seed);
+  EXPECT_EQ(cfg.drl.seed, cfg2.drl.seed);
+  EXPECT_EQ(cfg.local.seed, cfg2.local.seed);
+}
+
+TEST(Scenario, ZeroSeedKeepsConfigSeeds) {
+  Scenario s = ScenarioRegistry::builtin().make("tiny/round-robin", 200);
+  const ExperimentConfig cfg = s.materialized();
+  EXPECT_EQ(cfg.trace.seed, s.config.trace.seed);
+}
+
+TEST(ScenarioRegistry, BuiltinCoversThePaperGrid) {
+  const auto& r = ScenarioRegistry::builtin();
+  EXPECT_TRUE(r.contains("fig8/hierarchical"));
+  EXPECT_TRUE(r.contains("fig9/round-robin"));
+  EXPECT_TRUE(r.contains("table1/m30/drl-only"));
+  EXPECT_TRUE(r.contains("table1/m40/hierarchical"));
+  EXPECT_TRUE(r.contains("tiny/first-fit-packing"));
+  EXPECT_FALSE(r.contains("fig11/uninvented"));
+  EXPECT_GE(r.names().size(), 18u);
+}
+
+TEST(ScenarioRegistry, UnknownNameThrowsWithKnownNames) {
+  try {
+    ScenarioRegistry::builtin().make("nope/nothing", 100);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nope/nothing"), std::string::npos);
+    EXPECT_NE(msg.find("fig8/"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, MakeGroupSharesOneTraceSource) {
+  const auto group = ScenarioRegistry::builtin().make_group("fig8/", 500);
+  ASSERT_EQ(group.size(), 3u);
+  ASSERT_NE(group[0].trace, nullptr);
+  EXPECT_EQ(group[0].trace.get(), group[1].trace.get());
+  EXPECT_EQ(group[0].trace.get(), group[2].trace.get());
+  EXPECT_EQ(group[0].name, "fig8/round-robin");
+  EXPECT_EQ(group[2].config.num_servers, 30u);
+}
+
+TEST(ScenarioRegistry, MakeGroupKeepsDistinctTracesApart) {
+  // table1 spans M=30 and M=40 — same generator options, so ONE trace is
+  // correct across both cluster sizes (the paper runs both sizes on the
+  // same workload segment).
+  const auto group = ScenarioRegistry::builtin().make_group("table1/", 400);
+  ASSERT_EQ(group.size(), 6u);
+  EXPECT_EQ(group[0].trace.get(), group[5].trace.get());
+
+  // fig8 (M=30) and fig9 (M=40) share generator options too, but a tiny
+  // scenario with a different trace scale must get its own source.
+  std::vector<Scenario> mixed = {ScenarioRegistry::builtin().make("fig8/round-robin", 400),
+                                 ScenarioRegistry::builtin().make("tiny/round-robin", 300)};
+  share_synthetic_traces(mixed);
+  EXPECT_NE(mixed[0].trace.get(), mixed[1].trace.get());
+}
+
+TEST(Scenario, ComparisonScenariosShareOneCachedSource) {
+  ExperimentConfig base;
+  base.num_servers = 6;
+  base.num_groups = 2;
+  base.trace = tiny_trace();
+  const auto scenarios = comparison_scenarios(
+      base, {SystemKind::kRoundRobin, SystemKind::kLeastLoaded}, "cmp/");
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[0].trace.get(), scenarios[1].trace.get());
+  EXPECT_EQ(scenarios[0].name, "cmp/round-robin");
+  EXPECT_EQ(scenarios[1].config.system, SystemKind::kLeastLoaded);
+}
+
+// ---- validation fails fast with the scenario name --------------------------
+
+TEST(Runner, ValidationNamesTheBadScenarioBeforeAnythingRuns) {
+  std::vector<Scenario> batch = ScenarioRegistry::builtin().make_group("tiny/", 200);
+  Scenario bad = ScenarioRegistry::builtin().make("tiny/hierarchical", 200);
+  bad.name = "bad-cell";
+  bad.config.num_groups = 5;  // does not divide 6 servers
+  batch.insert(batch.begin() + 2, bad);
+
+  SerialRunner serial;
+  ParallelRunner parallel(4);
+  for (Runner* runner : {static_cast<Runner*>(&serial), static_cast<Runner*>(&parallel)}) {
+    try {
+      runner->run(batch);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("bad-cell"), std::string::npos);
+      EXPECT_NE(msg.find("num_groups"), std::string::npos);
+    }
+  }
+}
+
+// ---- observers -------------------------------------------------------------
+
+class CollectingObserver final : public RunObserver {
+ public:
+  void on_checkpoint(const Scenario& scenario, const CheckpointRow& row) override {
+    checkpoints[scenario.name].push_back(row);
+  }
+  void on_complete(const Scenario& scenario, const ExperimentResult& result) override {
+    completed.push_back(scenario.name);
+    jobs_completed[scenario.name] = result.final_snapshot.jobs_completed;
+  }
+
+  std::map<std::string, std::vector<CheckpointRow>> checkpoints;
+  std::vector<std::string> completed;
+  std::map<std::string, std::size_t> jobs_completed;
+};
+
+TEST(Runner, ObserverStreamsCheckpointsAndCompletions) {
+  const auto batch = ScenarioRegistry::builtin().make_group("tiny/", 300);
+  CollectingObserver obs;
+  const auto results = ParallelRunner(4).run(batch, &obs);
+
+  ASSERT_EQ(results.size(), batch.size());
+  EXPECT_EQ(obs.completed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    // Streamed checkpoints match the accumulated series exactly.
+    const auto& streamed = obs.checkpoints[batch[i].name];
+    ASSERT_EQ(streamed.size(), results[i].series.size());
+    for (std::size_t k = 0; k < streamed.size(); ++k) {
+      EXPECT_EQ(streamed[k].jobs_completed, results[i].series[k].jobs_completed);
+      EXPECT_EQ(streamed[k].energy_kwh, results[i].series[k].energy_kwh);
+    }
+    EXPECT_EQ(obs.jobs_completed[batch[i].name], 300u);
+  }
+}
+
+TEST(Runner, CsvObserverWritesHeaderAndOneRowPerCheckpoint) {
+  Scenario s = ScenarioRegistry::builtin().make("tiny/round-robin", 300);
+  std::ostringstream out;
+  CsvCheckpointObserver csv(out);
+  const auto results = SerialRunner().run({s}, &csv);
+
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "scenario,jobs,sim_time_s,acc_latency_s,energy_kwh,avg_power_w");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.rfind("tiny/round-robin,", 0), 0u);
+    ++rows;
+  }
+  EXPECT_EQ(rows, results[0].series.size());
+}
+
+// ---- the headline property: parallel == serial, bit for bit ----------------
+
+TEST(Runner, ParallelMatchesSerialBitForBitOnTheTinyGrid) {
+  // >= 6 scenarios spanning all six systems, sharing one cached trace —
+  // plus two seed-replicated hierarchical cells so scenario seeding is
+  // covered too.
+  std::vector<Scenario> batch = ScenarioRegistry::builtin().make_group("tiny/", 300);
+  Scenario rep1 = ScenarioRegistry::builtin().make("tiny/hierarchical", 300);
+  rep1.name = "tiny/hierarchical#seed1";
+  rep1.seed = 1001;
+  Scenario rep2 = rep1;
+  rep2.name = "tiny/hierarchical#seed2";
+  rep2.seed = 1002;
+  batch.push_back(rep1);
+  batch.push_back(rep2);
+  ASSERT_GE(batch.size(), 6u);
+
+  const auto serial = SerialRunner().run(batch);
+  const auto parallel4 = ParallelRunner(4).run(batch);
+  ASSERT_EQ(serial.size(), batch.size());
+  ASSERT_EQ(parallel4.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE(batch[i].name);
+    expect_identical(serial[i], parallel4[i]);
+  }
+
+  // Seed-replicated cells really are different runs of the same system.
+  const std::size_t h1 = batch.size() - 2, h2 = batch.size() - 1;
+  EXPECT_NE(serial[h1].final_snapshot.energy_joules, serial[h2].final_snapshot.energy_joules);
+
+  // And a second worker count completes the thread-count independence claim.
+  const auto parallel2 = ParallelRunner(2).run(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE(batch[i].name);
+    expect_identical(serial[i], parallel2[i]);
+  }
+}
+
+TEST(Runner, EmptyBatchAndOversizedPoolAreFine) {
+  EXPECT_TRUE(ParallelRunner(8).run({}).empty());
+  const auto one = ParallelRunner(8).run({ScenarioRegistry::builtin().make("tiny/least-loaded", 200)});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].final_snapshot.jobs_completed, 200u);
+}
+
+TEST(Runner, DefaultWorkerCountUsesHardware) {
+  EXPECT_GE(ParallelRunner().num_workers(), 1u);
+  EXPECT_EQ(ParallelRunner(3).num_workers(), 3u);
+}
+
+}  // namespace
+}  // namespace hcrl::core

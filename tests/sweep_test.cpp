@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
+#include "src/core/runner.hpp"
+#include "src/core/scenario.hpp"
 #include "src/core/state.hpp"
 #include "src/nn/loss.hpp"
 #include "src/nn/network.hpp"
@@ -106,6 +109,30 @@ INSTANTIATE_TEST_SUITE_P(Shapes, EncoderShapeSweep,
                          testing::Values(std::make_tuple(4u, 2u), std::make_tuple(6u, 3u),
                                          std::make_tuple(30u, 3u), std::make_tuple(40u, 4u),
                                          std::make_tuple(60u, 2u), std::make_tuple(8u, 8u)));
+
+// ---- every registered tiny scenario runs to completion via a Runner -------
+
+class ScenarioSweep : public testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioSweep, BuiltinScenarioCompletesAllJobs) {
+  const core::Scenario scenario =
+      core::ScenarioRegistry::builtin().make(GetParam(), 300);
+  core::SerialRunner runner;
+  const auto results = runner.run({scenario});
+  ASSERT_EQ(results.size(), 1u);
+  const auto& s = results[0].final_snapshot;
+  EXPECT_EQ(s.jobs_arrived, 300u);
+  EXPECT_EQ(s.jobs_completed, 300u);
+  EXPECT_GT(s.energy_joules, 0.0);
+  EXPECT_GE(s.average_latency_s(), 60.0);  // >= the minimum job duration
+  EXPECT_EQ(results[0].system,
+            GetParam().substr(std::string("tiny/").size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(TinySystems, ScenarioSweep,
+                         testing::Values("tiny/round-robin", "tiny/drl-only",
+                                         "tiny/hierarchical", "tiny/drl-fixed-timeout",
+                                         "tiny/least-loaded", "tiny/first-fit-packing"));
 
 // ---- energy monotonicity: always-on dominates every timeout policy --------
 
