@@ -3,17 +3,24 @@
 //   ./run_experiment path/to/experiment.conf
 //   ./run_experiment --inline "system = drl-only" "trace.num_jobs = 5000"
 //   ./run_experiment --scenario fig8/hierarchical 5000
+//   ./run_experiment --trace my_trace.csv [system]
+//   ./run_experiment --catalog google2011-sample [system]
 //   ./run_experiment --list-scenarios
 //
 // Config keys are documented in src/core/config_binding.hpp; unknown keys
 // are rejected. --scenario pulls a named scenario from the builtin registry
-// at the given job scale. Checkpoints stream as CSV on stdout *while the
+// at the given job scale; --trace runs a workload::trace_io CSV (e.g. the
+// output of `trace_tools convert`) and --catalog a bundled real-trace
+// dataset, both on the tiny 6-server cluster under the given system
+// (default hierarchical). Checkpoints stream as CSV on stdout *while the
 // simulation runs* (a CsvCheckpointObserver), then the final metrics print.
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "src/common/config.hpp"
 #include "src/core/config_binding.hpp"
@@ -42,6 +49,21 @@ int main(int argc, char** argv) {
       const std::size_t jobs =
           argc >= 4 ? static_cast<std::size_t>(std::stoull(argv[3])) : 5000;
       scenario = core::ScenarioRegistry::builtin().make(argv[2], jobs);
+    } else if (mode == "--trace" || mode == "--catalog") {
+      if (argc < 3) {
+        std::fprintf(stderr, "usage: %s %s <arg> [system]\n", argv[0], mode.c_str());
+        return 1;
+      }
+      const core::SystemKind system =
+          argc >= 4 ? core::system_kind_from_string(argv[3]) : core::SystemKind::kHierarchical;
+      if (mode == "--catalog") {
+        scenario = core::catalog_scenario(argv[2], system);
+        scenario.name = std::string("catalog:") + argv[2];
+      } else {
+        scenario = core::trace_scenario(
+            core::make_cached(std::make_shared<core::FileTraceSource>(argv[2])), system);
+        scenario.name = std::string("trace:") + argv[2];
+      }
     } else {
       common::Config raw;
       if (mode == "--inline") {

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Fetch the full public cluster datasets behind the bundled fixture slices.
+#
+#   scripts/fetch_traces.sh google2011  [dest_dir]   (~400 GB, gsutil)
+#   scripts/fetch_traces.sh alibaba2018 [dest_dir]   (~270 GB, wget)
+#   scripts/fetch_traces.sh azure2017   [dest_dir]   (~120 GB, wget)
+#
+# The repository never needs the full datasets: data/traces/*.sample.csv are
+# small checked-in slices in each dataset's raw schema, and every tool,
+# test and registry scenario runs from those. Use this script only to scale
+# an experiment to a real multi-day trace, then convert with e.g.:
+#
+#   ./build/examples/trace_tools convert google2011 part-00000-of-00500.csv \
+#       google_week.csv 100000
+set -euo pipefail
+
+dataset="${1:-}"
+dest="${2:-data/traces/full}"
+
+need() {
+  command -v "$1" >/dev/null 2>&1 || {
+    echo "error: '$1' is required for this dataset; install it and re-run" >&2
+    exit 1
+  }
+}
+
+mkdir -p "$dest"
+case "$dataset" in
+  google2011)
+    # Google ClusterData 2011 (v2.1). task_events is the table the adapter
+    # reads; one shard is enough for a week-scale experiment.
+    # Docs: https://github.com/google/cluster-data/blob/master/ClusterData2011_2.md
+    need gsutil
+    echo "fetching the first task_events shard into $dest (full table: 500 shards)..."
+    gsutil cp "gs://clusterdata-2011-2/task_events/part-00000-of-00500.csv.gz" "$dest/"
+    gunzip -f "$dest/part-00000-of-00500.csv.gz"
+    echo "convert with: trace_tools convert google2011 $dest/part-00000-of-00500.csv out.csv"
+    ;;
+  alibaba2018)
+    # Alibaba ClusterData v2018. batch_task.tar.gz unpacks to batch_task.csv.
+    # Docs: https://github.com/alibaba/clusterdata/tree/master/cluster-trace-v2018
+    need wget
+    echo "fetching batch_task into $dest..."
+    wget -c -P "$dest" \
+      "http://clusterdata2018pubcn.oss-cn-beijing.aliyuncs.com/batch_task.tar.gz"
+    tar -xzf "$dest/batch_task.tar.gz" -C "$dest"
+    echo "convert with: trace_tools convert alibaba2018 $dest/batch_task.csv out.csv"
+    ;;
+  azure2017)
+    # Azure Public Dataset V1 (2017). vmtable.csv.gz holds the VM lifetimes.
+    # Docs: https://github.com/Azure/AzurePublicDataset/blob/master/AzurePublicDatasetV1.md
+    need wget
+    echo "fetching vmtable into $dest..."
+    wget -c -P "$dest" \
+      "https://azurecloudpublicdataset.blob.core.windows.net/azurepublicdataset/trace_data/vmtable/vmtable.csv.gz"
+    gunzip -f "$dest/vmtable.csv.gz"
+    echo "convert with: trace_tools convert azure2017 $dest/vmtable.csv out.csv"
+    ;;
+  *)
+    echo "usage: $0 <google2011|alibaba2018|azure2017> [dest_dir]" >&2
+    exit 1
+    ;;
+esac

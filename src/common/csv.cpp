@@ -1,5 +1,6 @@
 #include "src/common/csv.hpp"
 
+#include <cmath>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -7,6 +8,33 @@
 #include <stdexcept>
 
 namespace hcrl::common {
+
+std::optional<double> parse_csv_double(const std::string& field) {
+  if (field.empty()) return std::nullopt;
+  // CSV numeric columns are finite decimals; std::stod would also consume
+  // the hexfloat "0x1f", "nan" and "inf", which in trace data are
+  // corruption, not numbers. NaN is especially insidious downstream: it
+  // compares false against every range check.
+  if (field.find_first_of("xX") != std::string::npos) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(field, &pos);
+    if (pos == field.size() && std::isfinite(v)) return v;
+  } catch (const std::exception&) {
+  }
+  return std::nullopt;
+}
+
+std::optional<long long> parse_csv_int(const std::string& field) {
+  if (field.empty()) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(field, &pos);
+    if (pos == field.size()) return v;
+  } catch (const std::exception&) {
+  }
+  return std::nullopt;
+}
 
 std::string CsvWriter::escape(const std::string& field) {
   const bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
@@ -28,15 +56,17 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
   out_ << '\n';
 }
 
+std::string format_csv_double(double value) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+  return os.str();
+}
+
 void CsvWriter::write_row_doubles(const std::vector<double>& values) {
   std::vector<std::string> fields;
   fields.reserve(values.size());
-  for (double v : values) {
-    std::ostringstream os;
-    os.precision(std::numeric_limits<double>::max_digits10);
-    os << v;
-    fields.push_back(os.str());
-  }
+  for (double v : values) fields.push_back(format_csv_double(v));
   write_row(fields);
 }
 
@@ -76,8 +106,10 @@ std::vector<std::string> CsvReader::parse_line(const std::string& line) {
 bool CsvReader::read_row(std::vector<std::string>& fields) {
   std::string line;
   while (std::getline(in_, line)) {
+    ++next_line_;
     if (line.empty() || line == "\r") continue;
     fields = parse_line(line);
+    row_line_ = next_line_;
     return true;
   }
   return false;

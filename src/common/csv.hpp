@@ -3,10 +3,27 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace hcrl::common {
+
+/// Strict full-field numeric parse for CSV cells: the whole field must be
+/// one number (no partial prefixes like "60.0x", no empty fields).
+/// Returns nullopt instead of throwing so callers choose their own error
+/// policy (trace_io raises with line/column context; the trace adapters
+/// count the row malformed).
+std::optional<double> parse_csv_double(const std::string& field);
+
+/// Same, for integer cells; rejects "3.9" and anything stoll cannot fully
+/// consume.
+std::optional<long long> parse_csv_int(const std::string& field);
+
+/// Round-trip-exact formatting for numeric CSV cells (max_digits10). The
+/// single precision policy behind CsvWriter::write_row_doubles and
+/// workload::write_trace.
+std::string format_csv_double(double value);
 
 class CsvWriter {
  public:
@@ -26,13 +43,21 @@ class CsvReader {
  public:
   explicit CsvReader(std::istream& in) : in_(in) {}
 
-  /// Reads the next row; returns false at EOF. Empty lines are skipped.
+  /// Reads the next row; returns false at EOF. Empty lines (including bare
+  /// "\r" from CRLF files) are skipped.
   bool read_row(std::vector<std::string>& fields);
+
+  /// 1-based input line number of the most recent row returned by
+  /// read_row() (0 before the first row). Skipped blank lines count, so
+  /// this matches what an editor shows for the offending line.
+  std::size_t line() const noexcept { return row_line_; }
 
   static std::vector<std::string> parse_line(const std::string& line);
 
  private:
   std::istream& in_;
+  std::size_t next_line_ = 0;
+  std::size_t row_line_ = 0;
 };
 
 }  // namespace hcrl::common

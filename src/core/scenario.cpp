@@ -6,6 +6,7 @@
 
 #include "src/common/rng.hpp"
 #include "src/sim/types.hpp"
+#include "src/workload/trace/calibrate.hpp"
 
 namespace hcrl::core {
 
@@ -68,6 +69,44 @@ ExperimentConfig paper_experiment_config(std::size_t servers, std::size_t jobs) 
   cfg.pretrain_jobs = jobs / 4;
   cfg.checkpoint_every_jobs = 0;
   return cfg;
+}
+
+Scenario trace_scenario(std::shared_ptr<const TraceSource> source, SystemKind kind) {
+  if (source == nullptr) throw std::invalid_argument("trace_scenario: null source");
+  Scenario s;
+  s.config.system = kind;
+  s.config.num_servers = 6;
+  s.config.num_groups = 2;
+  s.config.checkpoint_every_jobs = 100;
+  // Sizing the pretrain prefix costs one produce() here; pass a caching
+  // source (CatalogTraceSource caches; wrap others in make_cached) so the
+  // runner reuses it.
+  s.config.pretrain_jobs = source->produce().jobs.size() / 4;
+  s.trace = std::move(source);
+  return s;
+}
+
+Scenario catalog_scenario(const std::string& dataset, SystemKind kind) {
+  return trace_scenario(std::make_shared<CatalogTraceSource>(dataset), kind);
+}
+
+Scenario calibrated_scenario(const std::string& dataset, SystemKind kind, std::size_t jobs) {
+  const Trace fixture = CatalogTraceSource(dataset).produce();
+  workload::trace::CalibrationOptions cal;
+  cal.verify = false;  // only the fitted options are needed here
+  workload::GeneratorOptions fitted = workload::trace::calibrate(fixture.jobs, cal).options;
+  if (jobs > 0 && jobs != fitted.num_jobs) {
+    fitted.horizon_s *= static_cast<double>(jobs) / static_cast<double>(fitted.num_jobs);
+    fitted.num_jobs = jobs;
+  }
+  Scenario s;
+  s.config.system = kind;
+  s.config.num_servers = 6;
+  s.config.num_groups = 2;
+  s.config.trace = fitted;
+  s.config.pretrain_jobs = fitted.num_jobs / 4;
+  s.config.checkpoint_every_jobs = 100;
+  return s;
 }
 
 void share_synthetic_traces(std::vector<Scenario>& scenarios) {
@@ -183,6 +222,18 @@ ScenarioRegistry build_builtin() {
   for (SystemKind kind : kAllSystems) {
     r.add("tiny/" + to_string(kind),
           [kind](std::size_t jobs) { return tiny_scenario(kind, jobs); });
+  }
+  // Real-cluster workloads from the TraceCatalog fixtures, plus their
+  // calibrated-synthetic twins (workload::trace::calibrate fit to the same
+  // fixture). The paper's own system (hierarchical) runs on each.
+  for (const char* dataset : {"google2011-sample", "alibaba2018-sample"}) {
+    r.add(dataset, [dataset](std::size_t) {
+      return catalog_scenario(dataset, SystemKind::kHierarchical);
+    });
+    const std::string base = dataset;
+    r.add(base.substr(0, base.rfind("-sample")) + "-calibrated", [dataset](std::size_t jobs) {
+      return calibrated_scenario(dataset, SystemKind::kHierarchical, jobs);
+    });
   }
   return r;
 }

@@ -59,6 +59,25 @@ std::vector<Scenario> comparison_scenarios(const ExperimentConfig& base,
 /// construction on the first quarter of the trace.
 ExperimentConfig paper_experiment_config(std::size_t servers, std::size_t jobs);
 
+/// Real-trace scenario recipe: run `source` at the tiny test scale
+/// (6 servers, 2 groups) with pretraining on the first quarter of the
+/// trace and checkpoints every 100 jobs. Backs `run_experiment --trace`;
+/// pass a caching source — the pretrain sizing produces it once up front.
+Scenario trace_scenario(std::shared_ptr<const TraceSource> source, SystemKind kind);
+
+/// trace_scenario over a workload::trace::TraceCatalog dataset
+/// (CatalogTraceSource). The same recipe backs the registry's
+/// "<dataset>-sample" entries and `run_experiment --catalog`.
+Scenario catalog_scenario(const std::string& dataset, SystemKind kind);
+
+/// Calibrated-synthetic twin: generator options fitted to the dataset's
+/// fixture (workload::trace::calibrate, fit-only), run through the
+/// synthetic generator instead of the trace itself. A nonzero `jobs`
+/// rescales the twin to that many jobs at the fitted arrival rate — how a
+/// few-hundred-job slice scales to a 95,000-job week; 0 keeps the
+/// fixture's size.
+Scenario calibrated_scenario(const std::string& dataset, SystemKind kind, std::size_t jobs);
+
 class ScenarioRegistry {
  public:
   /// Factories take the trace scale in jobs; every other knob is fixed by
@@ -82,7 +101,12 @@ class ScenarioRegistry {
   /// The built-in paper grid: "fig8/<system>" (M=30), "fig9/<system>"
   /// (M=40), "table1/m30/<system>", "table1/m40/<system>" for round-robin,
   /// drl-only and hierarchical; "tiny/<system>" for all six systems at
-  /// test scale (6 servers).
+  /// test scale (6 servers). Real-cluster workloads ride along as
+  /// "google2011-sample" / "alibaba2018-sample" (TraceCatalog fixture
+  /// slices, hierarchical system, `jobs` ignored) and their
+  /// "<dataset>-calibrated" synthetic twins (generator options fitted to
+  /// the fixture via workload::trace::calibrate; `jobs` rescales the twin
+  /// at the fitted arrival rate, 0 keeps the fixture's size).
   static const ScenarioRegistry& builtin();
 
  private:

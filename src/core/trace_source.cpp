@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/workload/trace/catalog.hpp"
 #include "src/workload/trace_io.hpp"
 
 namespace hcrl::core {
@@ -71,6 +72,28 @@ Trace InMemoryTraceSource::produce() const { return trace_; }
 std::string InMemoryTraceSource::describe() const {
   return label_ + "(" + std::to_string(trace_.jobs.size()) + " jobs)";
 }
+
+// ---- CatalogTraceSource ----------------------------------------------------
+
+CatalogTraceSource::CatalogTraceSource(std::string dataset) : dataset_(std::move(dataset)) {
+  // Unknown names throw here (listing the known datasets), so a bad
+  // scenario fails at construction instead of mid-sweep.
+  workload::trace::TraceCatalog::builtin().entry(dataset_);
+}
+
+Trace CatalogTraceSource::produce() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!cache_.has_value()) {
+    Trace t;
+    t.jobs = workload::trace::TraceCatalog::builtin().load(dataset_);
+    t.horizon_s = infer_horizon_s(t.jobs);
+    t.stats = workload::compute_stats(t.jobs, t.horizon_s);
+    cache_ = std::move(t);
+  }
+  return *cache_;
+}
+
+std::string CatalogTraceSource::describe() const { return "catalog(" + dataset_ + ")"; }
 
 // ---- CachedTraceSource -----------------------------------------------------
 

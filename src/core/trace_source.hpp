@@ -94,6 +94,26 @@ class InMemoryTraceSource final : public TraceSource {
   std::string label_;
 };
 
+/// A named dataset from workload::trace::TraceCatalog::builtin() — bundled
+/// fixture slices of real cluster traces (Google 2011, Alibaba 2018, Azure
+/// 2017), parsed and normalized on first produce() and cached after. The
+/// dataset name is validated at construction; the fixture file is only
+/// touched by produce().
+class CatalogTraceSource final : public TraceSource {
+ public:
+  explicit CatalogTraceSource(std::string dataset);
+
+  Trace produce() const override;
+  std::string describe() const override;
+
+  const std::string& dataset() const noexcept { return dataset_; }
+
+ private:
+  std::string dataset_;
+  mutable std::mutex mutex_;
+  mutable std::optional<Trace> cache_;
+};
+
 /// Decorator: produce the inner trace exactly once, then serve copies.
 class CachedTraceSource final : public TraceSource {
  public:

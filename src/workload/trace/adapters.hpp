@@ -1,0 +1,99 @@
+// Format adapters: external cluster-trace schemas -> sim::Job rows.
+//
+// Each public cluster dataset ships its own schema; the adapters translate
+// three of them into the simulator's job tuple (arrival, duration, demand):
+//
+//   * Google ClusterData 2011 `task_events` — event log, one row per task
+//     state transition. Columns (no header): timestamp_us, missing_info,
+//     job_id, task_index, machine_id, event_type, user, scheduling_class,
+//     priority, cpu_request, memory_request, disk_request, constraint.
+//     The adapter pairs SUBMIT(0) / SCHEDULE(1) / FINISH(4) events per
+//     (job_id, task_index): arrival is the SUBMIT time, duration is
+//     FINISH - SCHEDULE (FINISH - SUBMIT when no SCHEDULE was seen), and
+//     demands come from the SUBMIT row (already normalized to one machine
+//     in the public trace). Tasks that are EVICTed/FAILed/KILLed/LOST or
+//     never finish inside the slice are dropped and counted.
+//
+//   * Alibaba ClusterData 2018 `batch_task` — one row per terminated task.
+//     Columns (no header): task_name, instance_num, job_name, task_type,
+//     status, start_time_s, end_time_s, plan_cpu, plan_mem. plan_cpu is in
+//     percent of one core (100 == 1 core) and plan_mem in percent of one
+//     machine's memory; demands are normalized by `alibaba_machine_cores`.
+//     Only `Terminated` rows become jobs; one job per task (per-instance
+//     demand), since the simulator's unit of work is a single request.
+//
+//   * Azure 2017 `vmtable` — one row per VM lifetime. Columns (no header):
+//     vm_id, subscription_id, deployment_id, created_s, deleted_s, max_cpu,
+//     avg_cpu, p95_max_cpu, vm_category, core_count_bucket, memory_gb_bucket.
+//     arrival = created, duration = deleted - created, and demands are the
+//     VM's core/memory buckets normalized by one host
+//     (`azure_host_cores` / `azure_host_memory_gb`). Buckets like ">24"
+//     parse as their bound.
+//
+// Adapters emit rows in *native* units: arrivals in seconds since the trace
+// epoch (not rebased), unsorted, ids in emission order, demands possibly
+// outside the simulator's (0, 1] range. Run trace::normalize() before
+// handing the rows to trace_io or an experiment. Malformed rows are skipped
+// and counted, never fatal — public trace slices are messy by nature; the
+// AdapterReport makes the mess visible.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hpp"
+
+namespace hcrl::workload::trace {
+
+enum class TraceFormat {
+  kGoogle2011,
+  kAlibaba2018,
+  kAzure2017,
+};
+
+/// "google2011" | "alibaba2018" | "azure2017"; throws std::invalid_argument
+/// on anything else (the message lists the known names).
+TraceFormat parse_format(const std::string& name);
+std::string to_string(TraceFormat format);
+
+struct AdapterOptions {
+  /// Alibaba 2018 machines have 96 cores; plan_cpu=100 means one core.
+  double alibaba_machine_cores = 96.0;
+  /// Azure host capacity used to normalize VM core/memory buckets.
+  double azure_host_cores = 64.0;
+  double azure_host_memory_gb = 256.0;
+  /// Alibaba batch_task and Azure vmtable carry no disk request; adapters
+  /// fill this constant so every row stays 3-dimensional (cpu, mem, disk).
+  double default_disk = 0.01;
+
+  void validate() const;
+};
+
+struct AdapterReport {
+  std::size_t rows_read = 0;        ///< data rows consumed (header excluded)
+  std::size_t rows_malformed = 0;   ///< wrong column count / non-numeric
+  std::size_t rows_filtered = 0;    ///< valid rows outside the job model
+                                    ///< (non-terminal status, zero lifetime)
+  std::size_t unmatched_tasks = 0;  ///< google: tasks without a FINISH
+  std::size_t jobs_emitted = 0;
+
+  std::string to_string() const;
+};
+
+std::vector<sim::Job> parse_google2011(std::istream& in, AdapterReport* report = nullptr);
+std::vector<sim::Job> parse_alibaba2018(std::istream& in, const AdapterOptions& options = {},
+                                        AdapterReport* report = nullptr);
+std::vector<sim::Job> parse_azure2017(std::istream& in, const AdapterOptions& options = {},
+                                      AdapterReport* report = nullptr);
+
+/// Dispatch on `format`.
+std::vector<sim::Job> parse_raw_trace(TraceFormat format, std::istream& in,
+                                      const AdapterOptions& options = {},
+                                      AdapterReport* report = nullptr);
+/// Throws std::runtime_error when `path` cannot be opened.
+std::vector<sim::Job> parse_raw_trace_file(TraceFormat format, const std::string& path,
+                                           const AdapterOptions& options = {},
+                                           AdapterReport* report = nullptr);
+
+}  // namespace hcrl::workload::trace

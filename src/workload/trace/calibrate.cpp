@@ -1,0 +1,244 @@
+#include "src/workload/trace/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/csv.hpp"
+#include "src/common/stats.hpp"
+
+namespace hcrl::workload::trace {
+
+void CalibrationOptions::validate() const {
+  if (horizon_s < 0.0) throw std::invalid_argument("CalibrationOptions: negative horizon");
+}
+
+double CalibrationReport::worst_rel_error() const {
+  double worst = 0.0;
+  for (const auto& r : rows) worst = std::max(worst, r.rel_error);
+  return worst;
+}
+
+double CalibrationReport::worst_ks() const {
+  double worst = 0.0;
+  for (const auto& r : rows) {
+    if (r.ks_statistic >= 0.0) worst = std::max(worst, r.ks_statistic);
+  }
+  return worst;
+}
+
+std::string CalibrationReport::to_string() const {
+  std::ostringstream os;
+  os << "calibration fit (empirical vs regenerated synthetic):\n";
+  for (const auto& r : rows) {
+    os << "  " << r.quantity << ": mean " << r.empirical_mean << " vs " << r.synthetic_mean
+       << " (rel err " << r.rel_error;
+    if (r.ks_statistic >= 0.0) os << ", KS " << r.ks_statistic;
+    os << ")\n";
+  }
+  os << "  interarrival CV " << interarrival_cv << "; worst rel err " << worst_rel_error()
+     << ", worst KS " << worst_ks();
+  return os.str();
+}
+
+void CalibrationReport::write_csv(std::ostream& out) const {
+  common::CsvWriter writer(out);
+  writer.write_row({"quantity", "empirical_mean", "synthetic_mean", "rel_error", "ks_statistic"});
+  for (const auto& r : rows) {
+    // Round-trip-exact formatting: sub-1e-6 fit changes must stay visible
+    // in the CI-uploaded report (std::to_string would flatten them to 0).
+    writer.write_row({r.quantity, common::format_csv_double(r.empirical_mean),
+                      common::format_csv_double(r.synthetic_mean),
+                      common::format_csv_double(r.rel_error),
+                      common::format_csv_double(r.ks_statistic)});
+  }
+}
+
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_statistic: empty sample");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  // Walk the pooled distinct values; consuming every tie at once keeps the
+  // CDF comparison exact for repeated observations.
+  while (ia < a.size() && ib < b.size()) {
+    const double v = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] == v) ++ia;
+    while (ib < b.size() && b[ib] == v) ++ib;
+    d = std::max(d, std::abs(static_cast<double>(ia) / na - static_cast<double>(ib) / nb));
+  }
+  // Once one sample is exhausted its CDF is 1; the remaining values only
+  // shrink the gap, so nothing more to scan.
+  return d;
+}
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+double rel_error(double empirical, double synthetic) {
+  return std::abs(synthetic - empirical) / std::max(std::abs(empirical), kEps);
+}
+
+double quantile_of_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<double> interarrivals_of(const std::vector<sim::Job>& jobs) {
+  std::vector<double> gaps;
+  gaps.reserve(jobs.size() > 0 ? jobs.size() - 1 : 0);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    gaps.push_back(jobs[i].arrival - jobs[i - 1].arrival);
+  }
+  return gaps;
+}
+
+FitRow make_row(const std::string& quantity, const std::vector<double>& empirical,
+                const std::vector<double>& synthetic) {
+  common::RunningStats emp, syn;
+  for (double v : empirical) emp.add(v);
+  for (double v : synthetic) syn.add(v);
+  FitRow row;
+  row.quantity = quantity;
+  row.empirical_mean = emp.mean();
+  row.synthetic_mean = syn.mean();
+  row.rel_error = rel_error(emp.mean(), syn.mean());
+  row.ks_statistic = ks_statistic(empirical, synthetic);
+  return row;
+}
+
+}  // namespace
+
+CalibrationResult calibrate(const std::vector<sim::Job>& jobs,
+                            const CalibrationOptions& cal_options) {
+  cal_options.validate();
+  if (jobs.size() < 8) {
+    throw std::invalid_argument("calibrate: need at least 8 jobs, got " +
+                                std::to_string(jobs.size()));
+  }
+  const std::size_t dims = jobs.front().demand.dims();
+  if (dims < 1) throw std::invalid_argument("calibrate: jobs carry no demand");
+
+  // ---- empirical samples ----------------------------------------------------
+  std::vector<double> gaps = interarrivals_of(jobs);
+  std::vector<double> durations, cpus, mems, disks, mem_ratios;
+  durations.reserve(jobs.size());
+  cpus.reserve(jobs.size());
+  for (const auto& j : jobs) {
+    durations.push_back(j.duration);
+    cpus.push_back(j.demand[0]);
+    if (dims > 1) {
+      mems.push_back(j.demand[1]);
+      mem_ratios.push_back(j.demand[1] / std::max(j.demand[0], kEps));
+    }
+    if (dims > 2) disks.push_back(j.demand[2]);
+  }
+
+  common::RunningStats gap_stats, log_dur, cpu_stats, mem_stats, disk_stats;
+  for (double g : gaps) gap_stats.add(g);
+  for (double d : durations) log_dur.add(std::log(d));
+  for (double c : cpus) cpu_stats.add(c);
+  for (double m : mems) mem_stats.add(m);
+  for (double d : disks) disk_stats.add(d);
+
+  // ---- fit the generator knobs ----------------------------------------------
+  GeneratorOptions fit;
+  fit.seed = cal_options.seed;
+  fit.num_jobs = jobs.size();
+  const double n = static_cast<double>(jobs.size());
+  const double span = jobs.back().arrival - jobs.front().arrival;
+  // Horizon that reproduces the empirical arrival rate: mean gap * n.
+  fit.horizon_s = cal_options.horizon_s > 0.0
+                      ? cal_options.horizon_s
+                      : std::max(span * n / std::max(n - 1.0, 1.0), kEps);
+
+  // Durations: lognormal body from log moments, clipped at the data's range.
+  const auto [dur_min_it, dur_max_it] = std::minmax_element(durations.begin(), durations.end());
+  fit.min_duration_s = std::max(*dur_min_it, kEps);
+  fit.max_duration_s = std::max(*dur_max_it, fit.min_duration_s);
+  fit.duration_log_mean = log_dur.mean();
+  fit.duration_log_sigma = std::max(log_dur.stddev(), 0.01);
+
+  // CPU: shifted exponential on the data's support.
+  fit.cpu_min = std::max(cpu_stats.min(), kEps);
+  fit.cpu_max = std::clamp(cpu_stats.max(), fit.cpu_min, 1.0);
+  fit.cpu_exp_mean = std::max(cpu_stats.mean() - fit.cpu_min, kEps);
+
+  // Memory: the generator draws mem = cpu * U(lo, hi), so E[mem] =
+  // E[cpu * ratio]. Center the uniform on the ratio of means (E[mem]/E[cpu]
+  // — NOT the mean per-job ratio, which biases E[mem] whenever memory is
+  // independent of cpu, e.g. Alibaba/Azure), and take the spread from the
+  // 10th/90th percentiles of the per-job ratio.
+  if (!mems.empty()) {
+    std::sort(mem_ratios.begin(), mem_ratios.end());
+    const double mid = mem_stats.mean() / std::max(cpu_stats.mean(), kEps);
+    const double half = 0.5 * (quantile_of_sorted(mem_ratios, 0.90) -
+                               quantile_of_sorted(mem_ratios, 0.10));
+    fit.mem_ratio_lo = std::max(mid - half, kEps);
+    fit.mem_ratio_hi = std::max(mid + half, fit.mem_ratio_lo);
+    fit.mem_min = std::max(mem_stats.min(), kEps);
+    fit.mem_max = std::clamp(mem_stats.max(), fit.mem_min, 1.0);
+  }
+
+  // Disk: uniform on the empirical support.
+  if (!disks.empty()) {
+    fit.disk_lo = std::max(disk_stats.min(), kEps);
+    fit.disk_hi = std::clamp(disk_stats.max(), fit.disk_lo, 1.0);
+  }
+
+  // Arrivals: Poisson-like traces collapse the MMPP to a constant rate;
+  // burstier traces map CV^2 onto the burst multiplier. A short window
+  // cannot identify a daily cycle, so the diurnal term is off.
+  const double cv =
+      gap_stats.mean() > 0.0 ? gap_stats.stddev() / gap_stats.mean() : 0.0;
+  fit.diurnal_amplitude = 0.0;
+  fit.burst_multiplier = cv <= 1.05 ? 1.0 : std::clamp(cv * cv, 1.0, 8.0);
+
+  fit.validate();
+
+  if (!cal_options.verify) {
+    CalibrationReport report;
+    report.empirical = compute_stats(jobs, fit.horizon_s);
+    report.interarrival_cv = cv;
+    return CalibrationResult{fit, std::move(report)};
+  }
+
+  // ---- verify: regenerate and compare ---------------------------------------
+  const std::vector<sim::Job> regen = GoogleTraceGenerator(fit).generate();
+
+  std::vector<double> regen_gaps = interarrivals_of(regen);
+  std::vector<double> regen_durations, regen_cpus, regen_mems, regen_disks;
+  regen_durations.reserve(regen.size());
+  for (const auto& j : regen) {
+    regen_durations.push_back(j.duration);
+    regen_cpus.push_back(j.demand[0]);
+    if (dims > 1) regen_mems.push_back(j.demand[1]);
+    if (dims > 2) regen_disks.push_back(j.demand[2]);
+  }
+
+  CalibrationReport report;
+  report.empirical = compute_stats(jobs, fit.horizon_s);
+  report.synthetic = compute_stats(regen, fit.horizon_s);
+  report.interarrival_cv = cv;
+  report.rows.push_back(make_row("interarrival_s", gaps, regen_gaps));
+  report.rows.push_back(make_row("duration_s", durations, regen_durations));
+  report.rows.push_back(make_row("cpu", cpus, regen_cpus));
+  if (!mems.empty()) report.rows.push_back(make_row("memory", mems, regen_mems));
+  if (!disks.empty()) report.rows.push_back(make_row("disk", disks, regen_disks));
+
+  return CalibrationResult{fit, std::move(report)};
+}
+
+}  // namespace hcrl::workload::trace

@@ -1,0 +1,93 @@
+// Calibration engine: fit workload::GeneratorOptions to an empirical trace.
+//
+// The synthetic generator models a trace with a handful of closed-form
+// distributions (lognormal durations, shifted-exponential CPU, uniform
+// memory ratio and disk, MMPP arrivals). Calibration inverts that model:
+// given any normalized job vector, estimate each knob from the data so
+// GoogleTraceGenerator(options).generate() mimics the real cluster:
+//
+//   * arrivals — the base rate is implied by (num_jobs, horizon); the MMPP
+//     burst multiplier is set from the inter-arrival coefficient of
+//     variation (CV <= ~1 is Poisson-like, so the multiplier collapses to
+//     1; heavier burstiness maps to min(CV^2, 8)). The diurnal term is
+//     disabled: short windows cannot identify a daily cycle.
+//   * durations — mean/stddev of log(duration) give the lognormal body;
+//     the clip bounds are the empirical min/max.
+//   * cpu — the generator draws cpu_min + Exp(mean); fit cpu_min as the
+//     empirical minimum and the exponential mean as mean(cpu) - min(cpu).
+//   * memory — the generator draws cpu * U(lo, hi); fit lo/hi as the 10th
+//     and 90th percentile of the per-job mem/cpu ratio.
+//   * disk — uniform on the empirical [min, max].
+//
+// Every fit is verified, not trusted: the engine regenerates a synthetic
+// trace from the fitted options and reports moment relative errors plus
+// two-sample Kolmogorov-Smirnov statistics for the inter-arrival, duration
+// and CPU distributions. The report is the product — a calibration that
+// cannot show its goodness-of-fit numbers is a guess.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hpp"
+#include "src/workload/generator.hpp"
+
+namespace hcrl::workload::trace {
+
+struct CalibrationOptions {
+  /// Seed stamped into the fitted GeneratorOptions (and used for the
+  /// verification regeneration).
+  std::uint64_t seed = 2011;
+  /// Horizon override; 0 infers the empirical arrival rate from the trace.
+  double horizon_s = 0.0;
+  /// When false, skip the verification regeneration: the result carries
+  /// the fitted options and empirical stats but no fit rows. For callers
+  /// that only want the options (e.g. the registry's calibrated-twin
+  /// scenarios), this avoids generating a full synthetic trace per fit.
+  bool verify = true;
+
+  void validate() const;
+};
+
+/// One fitted dimension: empirical vs regenerated-synthetic moments.
+struct FitRow {
+  std::string quantity;        ///< "interarrival_s", "duration_s", ...
+  double empirical_mean = 0.0;
+  double synthetic_mean = 0.0;
+  double rel_error = 0.0;      ///< |syn - emp| / max(|emp|, eps)
+  double ks_statistic = -1.0;  ///< two-sample KS; -1 when not computed
+};
+
+struct CalibrationReport {
+  TraceStats empirical;
+  TraceStats synthetic;
+  std::vector<FitRow> rows;
+  double interarrival_cv = 0.0;  ///< empirical CV that drove the MMPP fit
+
+  /// Largest rel_error across rows (the headline fit number).
+  double worst_rel_error() const;
+  /// Largest computed KS statistic across rows.
+  double worst_ks() const;
+
+  std::string to_string() const;
+  /// CSV: quantity,empirical_mean,synthetic_mean,rel_error,ks_statistic.
+  void write_csv(std::ostream& out) const;
+};
+
+struct CalibrationResult {
+  GeneratorOptions options;
+  CalibrationReport report;
+};
+
+/// Fit generator options to `jobs` (normalized, sorted by arrival; throws
+/// std::invalid_argument on an empty or too-small trace — fitting needs at
+/// least 8 jobs).
+CalibrationResult calibrate(const std::vector<sim::Job>& jobs,
+                            const CalibrationOptions& options = {});
+
+/// Two-sample Kolmogorov-Smirnov statistic (sup |F1 - F2|). Exposed for
+/// tests; inputs need not be sorted.
+double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+}  // namespace hcrl::workload::trace

@@ -1,0 +1,70 @@
+// TraceCatalog: named real-cluster datasets with provenance.
+//
+// A catalog entry ties together everything needed to turn a public dataset
+// into a simulator workload: the raw format, the bundled fixture slice
+// (checked in under data/traces/), adapter capacity assumptions, the
+// normalization recipe, and provenance (where the full dataset lives and
+// how to fetch it — see scripts/fetch_traces.sh). `load()` runs
+// adapter + normalize in one call, so examples and the scenario registry
+// can say `TraceCatalog::builtin().load("google2011-sample")` and get jobs
+// that drop straight into an experiment.
+//
+// Fixture resolution order (first hit wins):
+//   1. $HCRL_TRACE_DIR — explicit override;
+//   2. ./data/traces relative to the current directory — running from the
+//      repository root;
+//   3. the compile-time source path (HCRL_DATA_DIR) — tests and tools
+//      running from a build tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hpp"
+#include "src/workload/trace/adapters.hpp"
+#include "src/workload/trace/normalize.hpp"
+
+namespace hcrl::workload::trace {
+
+struct CatalogEntry {
+  std::string name;          ///< registry / CLI handle, e.g. "google2011-sample"
+  TraceFormat format = TraceFormat::kGoogle2011;
+  std::string fixture_file;  ///< file name under the data directory
+  std::string description;
+  std::string source_url;    ///< provenance: where the full dataset lives
+  std::string fetch_hint;    ///< one-liner for getting the full dataset
+  AdapterOptions adapter;
+  NormalizeOptions normalize;
+};
+
+class TraceCatalog {
+ public:
+  /// Register an entry; throws on duplicate or empty names.
+  void add(CatalogEntry entry);
+
+  bool contains(const std::string& name) const;
+  /// Throws std::invalid_argument on unknown names (message lists known).
+  const CatalogEntry& entry(const std::string& name) const;
+  /// All entry names, registration order.
+  std::vector<std::string> names() const;
+
+  /// Resolve the entry's bundled fixture path (throws std::runtime_error
+  /// when no candidate directory holds the file).
+  std::string fixture_path(const std::string& name) const;
+
+  /// Parse + normalize the bundled fixture into simulator-ready jobs.
+  std::vector<sim::Job> load(const std::string& name, AdapterReport* adapter_report = nullptr,
+                             NormalizeReport* normalize_report = nullptr) const;
+
+  /// The built-in datasets: google2011-sample, alibaba2018-sample,
+  /// azure2017-sample.
+  static const TraceCatalog& builtin();
+
+  /// The resolved data directory ("" when none of the candidates exist).
+  static std::string data_dir();
+
+ private:
+  std::vector<CatalogEntry> entries_;
+};
+
+}  // namespace hcrl::workload::trace

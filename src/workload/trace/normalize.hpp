@@ -1,0 +1,83 @@
+// Normalization pipeline: raw adapter output -> simulator-ready jobs.
+//
+// Public trace slices arrive messy: epoch-based timestamps, unsorted rows,
+// zero-duration tasks, duplicate rows, demands quoted in machine units or
+// zero where the request column was blank. trace_io::read_trace and
+// sim::Job::validate are deliberately strict, so this pipeline repairs the
+// rows in a fixed, documented order:
+//
+//   1. drop rows that can never be jobs (non-finite fields, duration <= 0,
+//      demand dimensionality mismatch);
+//   2. sort by full row key — arrival, then duration and demand, so exact
+//      duplicate rows are always adjacent even when an event log
+//      interleaves them at one timestamp — and drop the duplicates
+//      (remaining ties keep input order);
+//   3. rebase time so the first arrival is t = 0;
+//   4. slice the window [window_start_s, window_end_s) on rebased arrivals
+//      and rebase again to the window start;
+//   5. deterministically down-sample to at most `max_jobs` rows: each row is
+//      ranked by SplitMix64(sample_seed ^ row index) and the smallest ranks
+//      survive, which preserves burst structure far better than taking a
+//      prefix and is reproducible bit-for-bit from the seed;
+//   6. optionally rescale demands so the trace's largest component equals
+//      `rescale_peak` (0 disables), then clamp every component into
+//      [resource_floor, resource_cap];
+//   7. clamp durations into [min_duration_s, max_duration_s] (the paper
+//      clips Google durations to [1 min, 2 h] the same way);
+//   8. renumber ids 0..n-1 in arrival order.
+//
+// Every repair increments a NormalizeReport counter, so "how much surgery
+// did this dataset need" is part of the result, not something to guess.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hpp"
+
+namespace hcrl::workload::trace {
+
+struct NormalizeOptions {
+  /// Window on rebased arrivals, [start, end) seconds; end = inf keeps all.
+  double window_start_s = 0.0;
+  double window_end_s = std::numeric_limits<double>::infinity();
+
+  /// Down-sample to at most this many jobs (0 keeps every row).
+  std::size_t max_jobs = 0;
+  std::uint64_t sample_seed = 1;
+
+  /// Duration clip, mirroring the paper's [1 min, 2 h] extraction rule.
+  double min_duration_s = 60.0;
+  double max_duration_s = 7200.0;
+
+  /// Demand repair: optional global rescale, then a per-component clamp.
+  double rescale_peak = 0.0;  ///< 0 disables; else max component maps here
+  double resource_floor = 0.005;
+  double resource_cap = 1.0;
+
+  void validate() const;
+};
+
+struct NormalizeReport {
+  std::size_t rows_in = 0;
+  std::size_t rows_out = 0;
+  std::size_t dropped_invalid = 0;   ///< non-finite / duration <= 0 / bad dims
+  std::size_t dropped_duplicate = 0;
+  std::size_t dropped_window = 0;
+  std::size_t dropped_sampled = 0;
+  std::size_t clamped_durations = 0;
+  std::size_t clamped_demands = 0;   ///< jobs with >= 1 clamped component
+  double rescale_factor = 1.0;       ///< applied demand scale (1 = untouched)
+
+  std::string to_string() const;
+};
+
+/// Run the pipeline. The result is sorted, deduplicated, rebased to t = 0,
+/// ids 0..n-1, and every job passes sim::Job::validate — i.e. it survives
+/// trace_io::write_trace / read_trace round trips and drops straight into
+/// an experiment.
+std::vector<sim::Job> normalize(std::vector<sim::Job> jobs, const NormalizeOptions& options = {},
+                                NormalizeReport* report = nullptr);
+
+}  // namespace hcrl::workload::trace

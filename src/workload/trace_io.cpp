@@ -1,7 +1,6 @@
 #include "src/workload/trace_io.hpp"
 
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "src/common/csv.hpp"
@@ -21,9 +20,15 @@ void write_trace(std::ostream& out, const std::vector<sim::Job>& jobs) {
   }
   writer.write_row(header);
   for (const auto& job : jobs) {
-    std::vector<double> row = {static_cast<double>(job.id), job.arrival, job.duration};
-    for (std::size_t d = 0; d < job.demand.dims(); ++d) row.push_back(job.demand[d]);
-    writer.write_row_doubles(row);
+    // The id column is written as an integer (a double-typed column would
+    // lose ids above 2^53).
+    std::vector<std::string> row = {std::to_string(job.id),
+                                    common::format_csv_double(job.arrival),
+                                    common::format_csv_double(job.duration)};
+    for (std::size_t d = 0; d < job.demand.dims(); ++d) {
+      row.push_back(common::format_csv_double(job.demand[d]));
+    }
+    writer.write_row(row);
   }
 }
 
@@ -33,35 +38,61 @@ void write_trace_file(const std::string& path, const std::vector<sim::Job>& jobs
   write_trace(out, jobs);
 }
 
+namespace {
+
+[[noreturn]] void fail_at(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("read_trace: line " + std::to_string(line) + ": " + what);
+}
+
+/// Strict full-field numeric parse; names the column and quotes the value
+/// on failure so a malformed row in a million-line trace is findable.
+double parse_field(const std::string& value, const std::string& column, std::size_t line) {
+  if (const auto v = common::parse_csv_double(value)) return *v;
+  fail_at(line, "non-numeric value '" + value + "' in column '" + column + "'");
+}
+
+sim::JobId parse_id_field(const std::string& value, std::size_t line) {
+  if (const auto v = common::parse_csv_int(value)) return *v;
+  fail_at(line, "non-integer value '" + value + "' in column 'id'");
+}
+
+}  // namespace
+
 std::vector<sim::Job> read_trace(std::istream& in) {
   common::CsvReader reader(in);
   std::vector<std::string> fields;
   if (!reader.read_row(fields)) throw std::invalid_argument("read_trace: empty input");
   if (fields.size() < 4 || fields[0] != "id") {
-    throw std::invalid_argument("read_trace: bad header");
+    fail_at(reader.line(),
+            "bad header (expected 'id,arrival,duration,<resource columns>')");
   }
-  const std::size_t dims = fields.size() - 3;
+  const std::vector<std::string> header = fields;
+  const std::size_t dims = header.size() - 3;
 
   std::vector<sim::Job> jobs;
   double prev_arrival = -1.0;
   while (reader.read_row(fields)) {
+    const std::size_t line = reader.line();
     if (fields.size() != dims + 3) {
-      throw std::invalid_argument("read_trace: row has wrong column count");
+      fail_at(line, "expected " + std::to_string(dims + 3) + " columns, got " +
+                        std::to_string(fields.size()));
     }
     sim::Job job;
-    try {
-      job.id = std::stoll(fields[0]);
-      job.arrival = std::stod(fields[1]);
-      job.duration = std::stod(fields[2]);
-      job.demand = sim::ResourceVector(dims);
-      for (std::size_t d = 0; d < dims; ++d) job.demand[d] = std::stod(fields[3 + d]);
-    } catch (const std::exception&) {
-      throw std::invalid_argument("read_trace: non-numeric field in row " +
-                                  std::to_string(jobs.size() + 2));
+    job.id = parse_id_field(fields[0], line);
+    job.arrival = parse_field(fields[1], header[1], line);
+    job.duration = parse_field(fields[2], header[2], line);
+    job.demand = sim::ResourceVector(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      job.demand[d] = parse_field(fields[3 + d], header[3 + d], line);
     }
-    job.validate(dims);
+    try {
+      job.validate(dims);
+    } catch (const std::exception& e) {
+      fail_at(line, e.what());
+    }
     if (job.arrival < prev_arrival) {
-      throw std::invalid_argument("read_trace: arrivals not sorted");
+      fail_at(line, "arrivals not sorted (" + fields[1] + " after " +
+                        std::to_string(prev_arrival) + ")");
     }
     prev_arrival = job.arrival;
     jobs.push_back(std::move(job));

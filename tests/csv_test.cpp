@@ -62,6 +62,38 @@ TEST(CsvReader, UnterminatedQuoteThrows) {
   EXPECT_THROW(CsvReader::parse_line("\"oops"), std::invalid_argument);
 }
 
+TEST(Csv, ParseCsvDoubleIsStrict) {
+  EXPECT_EQ(parse_csv_double("60.5"), 60.5);
+  EXPECT_EQ(parse_csv_double("-1e3"), -1000.0);
+  EXPECT_FALSE(parse_csv_double("").has_value());
+  EXPECT_FALSE(parse_csv_double("60.0x").has_value());   // partial match
+  EXPECT_FALSE(parse_csv_double("0x1f").has_value());    // hexfloat = corruption
+  EXPECT_FALSE(parse_csv_double(">24").has_value());
+  EXPECT_FALSE(parse_csv_double("n/a").has_value());
+}
+
+TEST(Csv, ParseCsvIntIsStrict) {
+  EXPECT_EQ(parse_csv_int("42"), 42);
+  EXPECT_EQ(parse_csv_int("-7"), -7);
+  EXPECT_EQ(parse_csv_int("9007199254740993"), 9007199254740993LL);  // > 2^53
+  EXPECT_FALSE(parse_csv_int("3.9").has_value());
+  EXPECT_FALSE(parse_csv_int("").has_value());
+  EXPECT_FALSE(parse_csv_int("12a").has_value());
+}
+
+TEST(CsvReader, LineNumbersCountSkippedBlanks) {
+  std::istringstream is("a,b\n\n\nc,d\n");
+  CsvReader r(is);
+  std::vector<std::string> fields;
+  EXPECT_EQ(r.line(), 0u);
+  ASSERT_TRUE(r.read_row(fields));
+  EXPECT_EQ(r.line(), 1u);
+  ASSERT_TRUE(r.read_row(fields));
+  EXPECT_EQ(r.line(), 4u);
+  EXPECT_FALSE(r.read_row(fields));
+  EXPECT_EQ(r.line(), 4u);  // unchanged at EOF
+}
+
 TEST(Csv, RoundTripWithSpecialCharacters) {
   std::ostringstream os;
   CsvWriter w(os);

@@ -88,6 +88,96 @@ TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(read_trace_file("/no/such/trace.csv"), std::runtime_error);
 }
 
+// ---- diagnostics: malformed rows name the line and the offending field ----
+
+std::string error_message_of(const std::string& csv) {
+  std::stringstream buf(csv);
+  try {
+    read_trace(buf);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::invalid_argument for: " << csv;
+  return "";
+}
+
+TEST(TraceIo, NonNumericErrorNamesLineColumnAndValue) {
+  const std::string msg = error_message_of(
+      "id,arrival,duration,cpu\n1,0.0,60.0,0.1\n2,zero,60.0,0.1\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'arrival'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'zero'"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, ColumnCountErrorNamesLine) {
+  const std::string msg = error_message_of("id,arrival,duration,cpu\n1,0.0,60.0\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("expected 4 columns, got 3"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, UnsortedErrorNamesLine) {
+  const std::string msg = error_message_of(
+      "id,arrival,duration,cpu\n1,10.0,60.0,0.1\n2,5.0,60.0,0.1\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("not sorted"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, InvalidJobErrorNamesLine) {
+  const std::string msg = error_message_of("id,arrival,duration,cpu\n7,0.0,0.0,0.1\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duration"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, NonFiniteValuesRejected) {
+  // std::stod consumes "nan"/"inf"; NaN then slips past every range check
+  // (all comparisons false), so the reader must reject non-finite cells.
+  const std::string nan_msg = error_message_of("id,arrival,duration,cpu\n2,nan,60.0,0.1\n");
+  EXPECT_NE(nan_msg.find("'nan'"), std::string::npos) << nan_msg;
+  const std::string inf_msg = error_message_of("id,arrival,duration,cpu\n2,0.0,inf,0.1\n");
+  EXPECT_NE(inf_msg.find("'inf'"), std::string::npos) << inf_msg;
+}
+
+TEST(TraceIo, PartiallyNumericFieldRejected) {
+  // std::stod would accept the "60.0" prefix; the reader must not.
+  const std::string msg = error_message_of("id,arrival,duration,cpu\n1,0.0,60.0x,0.1\n");
+  EXPECT_NE(msg.find("'60.0x'"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, BlankLinesCountTowardReportedLineNumbers) {
+  const std::string msg = error_message_of(
+      "id,arrival,duration,cpu\n\n1,0.0,60.0,0.1\n\n2,bad,60.0,0.1\n");
+  EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, SixtyFourBitIdsRoundTripExactly) {
+  // Above 2^53 a double-typed id column would silently round.
+  sim::Job j;
+  j.id = 9007199254740993LL;  // 2^53 + 1
+  j.arrival = 0.0;
+  j.duration = 60.0;
+  j.demand = sim::ResourceVector{0.1, 0.1, 0.01};
+  std::stringstream buf;
+  write_trace(buf, {j});
+  const auto loaded = read_trace(buf);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].id, 9007199254740993LL);
+}
+
+TEST(TraceIo, FractionalIdRejected) {
+  const std::string msg = error_message_of("id,arrival,duration,cpu\n3.9,0.0,60.0,0.1\n");
+  EXPECT_NE(msg.find("non-integer"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'3.9'"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, CrlfAndTrailingNewlinesTolerated) {
+  std::stringstream buf(
+      "id,arrival,duration,cpu\r\n1,0.0,60.0,0.1\r\n2,5.5,61.0,0.2\r\n\r\n\n");
+  const auto jobs = read_trace(buf);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(jobs[1].arrival, 5.5);
+  EXPECT_DOUBLE_EQ(jobs[1].demand[0], 0.2);
+}
+
 TEST(TraceIo, GeneratedTraceRoundTrips) {
   GeneratorOptions o;
   o.num_jobs = 500;
