@@ -106,7 +106,7 @@ int main() {
   std::printf("%-28s %14s %14s %14s %12s\n", "architecture", "params(Q-net)", "energy(kWh)",
               "latency(1e6s)", "power(W)");
   std::printf("%-28s %14zu %14.2f %14.3f %12.1f\n", "grouped+shared (paper)",
-              grouped.network().subq_param_count() + grouped.network().autoencoder().param_count(),
+              grouped.network().subq_param_count() + grouped.network().autoencoder_param_count(),
               grouped_snap.energy_kwh(), grouped_snap.accumulated_latency_s / 1e6,
               grouped_snap.average_power_watts);
   std::printf("%-28s %14zu %14.2f %14.3f %12.1f\n", "monolithic DQN", mono.param_count(),

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Convert bench_micro's Google-Benchmark CSV into a schema-stable JSON.
+
+Usage:
+    bench_micro --benchmark_format=csv --benchmark_repetitions=3 \
+        --benchmark_report_aggregates_only > bench_micro.csv
+    python3 scripts/bench_to_json.py bench_micro.csv BENCH_micro.json \
+        [--note "host description"]
+
+The output maps every benchmark cell to its median real/CPU time in
+nanoseconds (falling back to the single reported run when the CSV carries no
+aggregates), so perf trajectories can be diffed across commits and CI runs
+without re-parsing benchmark-library output. The schema is intentionally
+frozen: bump `schema` if a field ever changes meaning.
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+
+SCHEMA = "hcrl-bench-micro-v1"
+
+# Google benchmark emits one row per (cell, aggregate); aggregate rows carry
+# a "_mean"/"_median"/"_stddev"/"_cv" suffix on the name. We keep the median
+# (preferred) or the plain single-run row.
+_AGGREGATES = ("_mean", "_median", "_stddev", "_cv", "_min", "_max")
+
+
+def _to_ns(value, unit):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+    if scale is None:
+        raise ValueError(f"unknown time_unit '{unit}'")
+    return float(value) * scale
+
+
+def parse_csv(path):
+    cells = {}
+    with open(path, newline="") as f:
+        # The CSV may be preceded by junk lines (context printed by wrappers);
+        # skip until the header row.
+        lines = f.read().splitlines()
+    header_idx = next(
+        (i for i, line in enumerate(lines) if line.startswith("name,")), None
+    )
+    if header_idx is None:
+        raise SystemExit(f"{path}: no Google-Benchmark CSV header found")
+    reader = csv.DictReader(lines[header_idx:])
+    for row in reader:
+        name = (row.get("name") or "").strip()
+        if not name:
+            continue
+        if row.get("error_occurred") in ("true", "TRUE", "1"):
+            continue
+        aggregate = None
+        cell = name
+        for suffix in _AGGREGATES:
+            if name.endswith(suffix):
+                aggregate = suffix[1:]
+                cell = name[: -len(suffix)]
+                break
+        if aggregate not in (None, "median"):
+            continue  # keep only medians and plain runs
+        try:
+            entry = {
+                "real_time_ns": _to_ns(row["real_time"], row["time_unit"]),
+                "cpu_time_ns": _to_ns(row["cpu_time"], row["time_unit"]),
+                "iterations": int(float(row["iterations"])),
+                "aggregate": aggregate or "single",
+            }
+        except (KeyError, ValueError) as err:
+            print(f"warning: skipping row '{name}': {err}", file=sys.stderr)
+            continue
+        ips = (row.get("items_per_second") or "").strip()
+        if ips:
+            entry["items_per_second"] = float(ips)
+        # A median row always wins over a plain row of the same cell. Among
+        # plain rows (repetitions without aggregates) the last one wins, so
+        # the recorded value is a warmed-up run rather than the cold rep 1.
+        if cell not in cells or entry["aggregate"] == "median" or \
+                cells[cell]["aggregate"] != "median":
+            cells[cell] = entry
+    return cells
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csv_path")
+    ap.add_argument("json_path")
+    ap.add_argument("--note", default="", help="free-form host/run description")
+    args = ap.parse_args()
+
+    cells = parse_csv(args.csv_path)
+    if not cells:
+        raise SystemExit(f"{args.csv_path}: no benchmark rows parsed")
+    doc = {
+        "schema": SCHEMA,
+        "source": args.csv_path,
+        "note": args.note,
+        "cells": dict(sorted(cells.items())),
+    }
+    with open(args.json_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"{args.json_path}: {len(cells)} cells")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,14 @@ ExperimentConfig experiment_config_from(const common::Config& config) {
   cfg.learn_during_run = config.get_bool("learn_during_run", cfg.learn_during_run);
   cfg.checkpoint_every_jobs = static_cast<std::size_t>(
       config.get_int("checkpoint_every_jobs", static_cast<std::int64_t>(cfg.checkpoint_every_jobs)));
+  cfg.precision =
+      nn::precision_from_string(config.get_string("precision", nn::to_string(cfg.precision)));
+  const std::int64_t gemm_threads =
+      config.get_int("gemm_threads", static_cast<std::int64_t>(cfg.gemm_threads));
+  if (gemm_threads < 0) {
+    throw std::invalid_argument("experiment_config_from: gemm_threads must be >= 0");
+  }
+  cfg.gemm_threads = static_cast<std::size_t>(gemm_threads);
 
   // Trace.
   cfg.trace.num_jobs =

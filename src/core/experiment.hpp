@@ -20,6 +20,7 @@
 
 #include "src/core/global_tier.hpp"
 #include "src/core/local_tier.hpp"
+#include "src/nn/precision.hpp"
 #include "src/sim/cluster.hpp"
 #include "src/workload/generator.hpp"
 
@@ -57,6 +58,18 @@ struct ExperimentConfig {
 
   /// Record a metrics checkpoint every N completed jobs (0 disables).
   std::size_t checkpoint_every_jobs = 5000;
+
+  /// Scalar type of every NN in the experiment (global-tier Sub-Q +
+  /// autoencoder, local-tier LSTM predictors). finalize() propagates it into
+  /// the drl/local sub-configs; defaults to the process-wide default
+  /// (HCRL_PRECISION environment variable, f64 when unset).
+  nn::Precision precision = nn::default_precision();
+  /// Intra-GEMM worker count applied (process-globally) when the scenario
+  /// runs; 0 leaves the current setting (HCRL_GEMM_THREADS env, default 1)
+  /// untouched. Thread count never changes results — the threaded GEMM is
+  /// bit-identical to serial — so scenarios with different values may share
+  /// one sweep.
+  std::size_t gemm_threads = 0;
 
   void finalize();  // propagate sizes into drl/local sub-configs
   void validate() const;

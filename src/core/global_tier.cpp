@@ -1,9 +1,9 @@
 #include "src/core/global_tier.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <stdexcept>
 
-#include "src/nn/serialize.hpp"
 #include "src/sim/cluster.hpp"
 
 namespace hcrl::core {
@@ -115,12 +115,18 @@ void DrlAllocator::end_episode() {
 }
 
 void DrlAllocator::save_model(const std::string& path) const {
-  nn::save_params_file(path, qnet_->trainable_params());
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("DrlAllocator::save_model: cannot open " + path);
+  qnet_->save_params(out);
+  if (!out) throw std::runtime_error("DrlAllocator::save_model: write failed on " + path);
 }
 
 void DrlAllocator::load_model(const std::string& path) {
-  nn::load_params_file(path, qnet_->trainable_params());
-  qnet_->sync_target();
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("DrlAllocator::load_model: cannot open " + path);
+  // Precision-agnostic: GroupedQNetwork routes the text checkpoint into
+  // whichever Scalar instantiation it runs, and re-syncs the target copy.
+  qnet_->load_params(in);
 }
 
 }  // namespace hcrl::core

@@ -51,17 +51,27 @@ double RlPowerManager::predicted_gap(const sim::Server& server, sim::Time now,
 }
 
 std::size_t RlPowerManager::discretize(double predicted_gap_s) const {
-  std::size_t state = 0;
-  for (double edge : opts_.interarrival_bins) {
-    if (predicted_gap_s < edge) break;
-    ++state;
+  // Bins are validated sorted at construction, so the state index — the
+  // number of edges <= gap — is one binary search instead of a linear scan.
+  const auto& bins = opts_.interarrival_bins;
+  return static_cast<std::size_t>(
+      std::upper_bound(bins.begin(), bins.end(), predicted_gap_s) - bins.begin());
+}
+
+RlPowerManager::PerServer& RlPowerManager::per_server(sim::ServerId id) {
+  // Hot-hook access: one pre-validating compare instead of vector::at()'s
+  // per-call bounds machinery; the id space is fixed at construction.
+  if (id >= servers_.size()) {
+    throw std::out_of_range("RlPowerManager: server id " + std::to_string(id) +
+                            " outside the configured " + std::to_string(servers_.size()) +
+                            " servers");
   }
-  return state;  // in [0, bins.size()]
+  return servers_[id];
 }
 
 void RlPowerManager::on_arrival(const sim::Server& server, const sim::Job& job, sim::Time now) {
   (void)job;
-  PerServer& ps = servers_.at(server.id());
+  PerServer& ps = per_server(server.id());
 
   if (ps.has_pending) {
     ps.has_pending = false;
@@ -111,7 +121,7 @@ void RlPowerManager::close_sojourn(const sim::Server& server, sim::Time now, Per
 }
 
 double RlPowerManager::on_idle(const sim::Server& server, sim::Time now) {
-  PerServer& ps = servers_.at(server.id());
+  PerServer& ps = per_server(server.id());
 
   const double gap = predicted_gap(server, now, ps);
   const std::size_t state = discretize(gap);

@@ -95,6 +95,9 @@ class RlPowerManager final : public sim::PowerPolicy {
     std::size_t decisions = 0;
   };
 
+  /// Checked-once indexed access for the hot hooks (throws std::out_of_range
+  /// on an id outside the configured server count).
+  PerServer& per_server(sim::ServerId id);
   /// Predicted time from `now` until the next arrival at this server:
   /// (last arrival + predicted inter-arrival) - now, floored at zero.
   double predicted_gap(const sim::Server& server, sim::Time now, PerServer& ps) const;

@@ -6,6 +6,9 @@
 
 #include "src/nn/init.hpp"
 #include "src/nn/loss.hpp"
+#include "src/nn/lstm.hpp"
+#include "src/nn/network.hpp"
+#include "src/nn/optimizer.hpp"
 
 namespace hcrl::core {
 
@@ -126,29 +129,114 @@ void LstmPredictorOptions::validate() const {
   }
 }
 
+namespace detail {
+
+/// Precision-parameterized NN stack of the LSTM predictor: the input/output
+/// dense layers, the LSTM cell and the optimizer. The facade owns the
+/// (double-typed) normalized history and hands window positions down here.
+template <class S>
+class LstmNetCore {
+ public:
+  LstmNetCore(const LstmPredictorOptions& opts, common::Rng& rng) : opts_(opts) {
+    // Paper §VI-A: input and output hidden layers initialized N(0, 1) with
+    // bias 0.1; the LSTM state starts at zero.
+    auto in_params = std::make_shared<nn::DenseParamsT<S>>(opts_.input_hidden, 1);
+    nn::normal_init(in_params->W, rng, 0.0, 1.0);
+    for (auto& b : in_params->b) b = S(0.1);
+    input_layer_.add_shared_dense(in_params, nn::Activation::kIdentity);
+
+    auto lstm_params = std::make_shared<nn::LstmParamsT<S>>(opts_.hidden_units,
+                                                            opts_.input_hidden);
+    nn::init_lstm(*lstm_params, rng);
+    lstm_ = std::make_unique<nn::LstmT<S>>(lstm_params);
+
+    auto out_params = std::make_shared<nn::DenseParamsT<S>>(1, opts_.hidden_units);
+    nn::normal_init(out_params->W, rng, 0.0, 1.0);
+    for (auto& b : out_params->b) b = S(0.1);
+    output_layer_.add_shared_dense(out_params, nn::Activation::kIdentity);
+
+    all_params_ = {in_params, lstm_params, out_params};
+    optimizer_ = std::make_unique<nn::AdamT<S>>(all_params_,
+                                                nn::AdamOptions{.lr = opts_.learning_rate});
+  }
+
+  /// Batched multi-window sweep; returns the *normalized* prediction per
+  /// window (the facade denormalizes).
+  std::vector<double> predict_windows(const std::deque<double>& history,
+                                      const std::vector<std::size_t>& ends) {
+    const std::size_t W = ends.size();
+    lstm_->reset_batch(W);
+    nn::MatrixT<S> h;
+    for (std::size_t i = 0; i < opts_.lookback; ++i) {
+      nn::MatrixT<S> raw(W, 1);
+      for (std::size_t w = 0; w < W; ++w) {
+        raw(w, 0) = static_cast<S>(history[ends[w] - opts_.lookback + i]);
+      }
+      h = lstm_->step_batch(input_layer_.predict_batch(std::move(raw)), /*keep_cache=*/false);
+    }
+    const nn::MatrixT<S> y = output_layer_.predict_batch(std::move(h));
+    lstm_->reset();  // back to per-sample state for train_window
+    std::vector<double> out(W);
+    for (std::size_t w = 0; w < W; ++w) out[w] = static_cast<double>(y(w, 0));
+    return out;
+  }
+
+  /// One supervised BPTT step on the window ending at history position
+  /// `end`; returns the squared error in normalized space.
+  double train_window(const std::deque<double>& history, std::size_t end) {
+    const std::size_t begin = end - opts_.lookback;
+    // Training forward: per-sample (batch = 1) path, caches kept for BPTT.
+    lstm_->reset();
+    nn::VecT<S> h;
+    for (std::size_t i = 0; i < opts_.lookback; ++i) {
+      nn::VecT<S> x = input_layer_.forward(nn::VecT<S>{static_cast<S>(history[begin + i])});
+      h = lstm_->step(x);
+    }
+    const nn::VecT<S> y = output_layer_.forward(h);
+    const S pred = y[0];
+    const S target = static_cast<S>(history[end]);
+
+    optimizer_->zero_grad();
+    nn::LossResultT<S> loss = nn::mse_loss(nn::VecT<S>{pred}, nn::VecT<S>{target});
+    // Loss is attached to the last step's output only (next-value
+    // prediction); BPTT carries it back through every cached step.
+    nn::VecT<S> dh = output_layer_.backward(loss.grad);
+    std::vector<nn::VecT<S>> dh_list(opts_.lookback, nn::VecT<S>(opts_.hidden_units, S(0)));
+    dh_list.back() = dh;
+    std::vector<nn::VecT<S>> dx = lstm_->backward(dh_list);
+    for (std::size_t i = dx.size(); i-- > 0;) {
+      // LIFO: reverse order of the forwards; the raw-input gradient is unused.
+      input_layer_.backward(dx[i], /*want_input_grad=*/false);
+    }
+    nn::clip_grad_norm(all_params_, opts_.grad_clip);
+    optimizer_->step();
+    return loss.value;
+  }
+
+ private:
+  LstmPredictorOptions opts_;
+  nn::NetworkT<S> input_layer_;
+  std::unique_ptr<nn::LstmT<S>> lstm_;
+  nn::NetworkT<S> output_layer_;
+  std::unique_ptr<nn::AdamT<S>> optimizer_;
+  std::vector<nn::ParamBlockPtrT<S>> all_params_;
+};
+
+template class LstmNetCore<float>;
+template class LstmNetCore<double>;
+
+}  // namespace detail
+
 LstmPredictor::LstmPredictor(const LstmPredictorOptions& opts) : opts_(opts), rng_(opts.seed) {
   opts_.validate();
-
-  // Paper §VI-A: input and output hidden layers initialized N(0, 1) with
-  // bias 0.1; the LSTM state starts at zero.
-  auto in_params = std::make_shared<nn::DenseParams>(opts_.input_hidden, 1);
-  nn::normal_init(in_params->W, rng_, 0.0, 1.0);
-  for (auto& b : in_params->b) b = 0.1;
-  input_layer_.add_shared_dense(in_params, nn::Activation::kIdentity);
-
-  auto lstm_params = std::make_shared<nn::LstmParams>(opts_.hidden_units, opts_.input_hidden);
-  nn::init_lstm(*lstm_params, rng_);
-  lstm_ = std::make_unique<nn::Lstm>(lstm_params);
-
-  auto out_params = std::make_shared<nn::DenseParams>(1, opts_.hidden_units);
-  nn::normal_init(out_params->W, rng_, 0.0, 1.0);
-  for (auto& b : out_params->b) b = 0.1;
-  output_layer_.add_shared_dense(out_params, nn::Activation::kIdentity);
-
-  all_params_ = {in_params, lstm_params, out_params};
-  optimizer_ = std::make_unique<nn::Adam>(all_params_,
-                                          nn::Adam::Options{.lr = opts_.learning_rate});
+  if (opts_.precision == nn::Precision::kF32) {
+    f32_ = std::make_unique<detail::LstmNetCore<float>>(opts_, rng_);
+  } else {
+    f64_ = std::make_unique<detail::LstmNetCore<double>>(opts_, rng_);
+  }
 }
+
+LstmPredictor::~LstmPredictor() = default;
 
 double LstmPredictor::normalize(double seconds) const {
   return std::log1p(std::max(0.0, seconds)) / std::log1p(opts_.norm_scale_s);
@@ -168,18 +256,6 @@ void LstmPredictor::observe(double interarrival_s) {
   }
 }
 
-double LstmPredictor::forward_window(std::size_t begin, std::size_t len) {
-  // Training forward: per-sample (batch = 1) path, caches kept for BPTT.
-  lstm_->reset();
-  nn::Vec h;
-  for (std::size_t i = 0; i < len; ++i) {
-    nn::Vec x = input_layer_.forward({history_[begin + i]});
-    h = lstm_->step(x);
-  }
-  const nn::Vec y = output_layer_.forward(h);
-  return y[0];
-}
-
 double LstmPredictor::predict() {
   if (history_.size() < opts_.lookback) return opts_.prior_s;
   // Batch-of-one window through the batched sweep: same kernels, same result.
@@ -193,18 +269,9 @@ std::vector<double> LstmPredictor::predict_windows(const std::vector<std::size_t
       throw std::invalid_argument("LstmPredictor::predict_windows: bad window end");
     }
   }
-  const std::size_t W = ends.size();
-  lstm_->reset_batch(W);
-  nn::Matrix h;
-  for (std::size_t i = 0; i < opts_.lookback; ++i) {
-    nn::Matrix raw(W, 1);
-    for (std::size_t w = 0; w < W; ++w) raw(w, 0) = history_[ends[w] - opts_.lookback + i];
-    h = lstm_->step_batch(input_layer_.predict_batch(raw), /*keep_cache=*/false);
-  }
-  const nn::Matrix y = output_layer_.predict_batch(h);
-  lstm_->reset();  // back to per-sample state for train_window
-  std::vector<double> out(W);
-  for (std::size_t w = 0; w < W; ++w) out[w] = denormalize(y(w, 0));
+  std::vector<double> out =
+      f32_ ? f32_->predict_windows(history_, ends) : f64_->predict_windows(history_, ends);
+  for (auto& v : out) v = denormalize(v);
   return out;
 }
 
@@ -212,25 +279,7 @@ double LstmPredictor::train_window(std::size_t end) {
   if (end >= history_.size() || end < opts_.lookback) {
     throw std::invalid_argument("LstmPredictor::train_window: bad window end");
   }
-  const std::size_t begin = end - opts_.lookback;
-  const double pred = forward_window(begin, opts_.lookback);
-  const double target = history_[end];
-
-  optimizer_->zero_grad();
-  nn::LossResult loss = nn::mse_loss({pred}, {target});
-  // Loss is attached to the last step's output only (next-value prediction);
-  // BPTT carries it back through every cached step.
-  nn::Vec dh = output_layer_.backward(loss.grad);
-  std::vector<nn::Vec> dh_list(opts_.lookback, nn::Vec(opts_.hidden_units, 0.0));
-  dh_list.back() = dh;
-  std::vector<nn::Vec> dx = lstm_->backward(dh_list);
-  for (std::size_t i = dx.size(); i-- > 0;) {
-    // LIFO: reverse order of the forwards; the raw-input gradient is unused.
-    input_layer_.backward(dx[i], /*want_input_grad=*/false);
-  }
-  nn::clip_grad_norm(all_params_, opts_.grad_clip);
-  optimizer_->step();
-  return loss.value;
+  return f32_ ? f32_->train_window(history_, end) : f64_->train_window(history_, end);
 }
 
 void LstmPredictor::train_round() {

@@ -14,9 +14,7 @@
 #include <string>
 
 #include "src/common/rng.hpp"
-#include "src/nn/lstm.hpp"
-#include "src/nn/network.hpp"
-#include "src/nn/optimizer.hpp"
+#include "src/nn/precision.hpp"
 
 namespace hcrl::core {
 
@@ -104,13 +102,22 @@ struct LstmPredictorOptions {
   std::size_t train_interval = 8;  // train after every N observations
   std::size_t train_windows = 4;   // windows per training round
   std::uint64_t seed = 11;
+  /// Scalar type of the LSTM stack (see nn/precision.hpp). The history,
+  /// normalization and prediction interface stay double-typed.
+  nn::Precision precision = nn::default_precision();
 
   void validate() const;
 };
 
+namespace detail {
+template <class S>
+class LstmNetCore;
+}  // namespace detail
+
 class LstmPredictor final : public WorkloadPredictor {
  public:
   explicit LstmPredictor(const LstmPredictorOptions& opts);
+  ~LstmPredictor() override;
 
   void observe(double interarrival_s) override;
   double predict() override;
@@ -137,16 +144,14 @@ class LstmPredictor final : public WorkloadPredictor {
   double denormalize(double z) const;
 
  private:
-  double forward_window(std::size_t begin, std::size_t len);
   void train_round();
 
   LstmPredictorOptions opts_;
   common::Rng rng_;
-  nn::Network input_layer_;
-  std::unique_ptr<nn::Lstm> lstm_;
-  nn::Network output_layer_;
-  std::unique_ptr<nn::Adam> optimizer_;
-  std::vector<nn::ParamBlockPtr> all_params_;
+  // Exactly one core is non-null, matching opts_.precision: the NN stack
+  // (input layer, LSTM cell, output layer, optimizer) at that Scalar type.
+  std::unique_ptr<detail::LstmNetCore<float>> f32_;
+  std::unique_ptr<detail::LstmNetCore<double>> f64_;
   std::deque<double> history_;  // normalized values
   std::size_t total_observed_ = 0;
   double last_loss_ = -1.0;

@@ -14,16 +14,23 @@
 // Q-regression (stop-gradient), which keeps the representation stable while
 // Q-targets move. A separately-parameterized target copy of the Sub-Q head
 // provides the bootstrap targets.
+//
+// The network is precision-parameterized (GroupedQOptions::precision): the
+// Sub-Q/autoencoder stacks, optimizer state and GEMM sweeps run at float or
+// double while the public API stays double-typed, so the experiment layer is
+// precision-agnostic.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.hpp"
 #include "src/core/state.hpp"
-#include "src/nn/autoencoder.hpp"
-#include "src/nn/network.hpp"
-#include "src/nn/optimizer.hpp"
+#include "src/nn/matrix.hpp"
+#include "src/nn/param.hpp"
+#include "src/nn/precision.hpp"
 #include "src/rl/replay.hpp"
 
 namespace hcrl::core {
@@ -40,18 +47,29 @@ struct GroupedQOptions {
   std::size_t autoencoder_buffer = 4096;
   /// Double Q-learning for the bootstrap target (see rl::DqnAgent::Options).
   bool double_q = false;
+  /// Scalar type of the Sub-Q/autoencoder stacks (see nn/precision.hpp).
+  nn::Precision precision = nn::default_precision();
 
   void validate() const;
 };
 
+namespace detail {
+template <class S>
+class GroupedQCore;
+}  // namespace detail
+
 class GroupedQNetwork {
  public:
   GroupedQNetwork(const GroupedQOptions& opts, common::Rng& rng);
+  ~GroupedQNetwork();
+  GroupedQNetwork(GroupedQNetwork&&) noexcept;
+  GroupedQNetwork& operator=(GroupedQNetwork&&) noexcept;
 
   std::size_t num_actions() const noexcept { return opts_.encoder.num_servers; }
   std::size_t state_dim() const noexcept { return opts_.encoder.full_state_dim(); }
   /// Input dimension of one Sub-Q head.
   std::size_t head_input_dim() const noexcept { return head_input_dim_; }
+  nn::Precision precision() const noexcept { return opts_.precision; }
 
   /// Q-values for all |M| actions (online parameters).
   nn::Vec q_values(const nn::Vec& full_state);
@@ -69,10 +87,18 @@ class GroupedQNetwork {
   /// Returns the reconstruction loss when a batch ran, negative otherwise.
   double observe_state(const nn::Vec& full_state, common::Rng& rng);
 
-  nn::Autoencoder& autoencoder() noexcept { return *autoencoder_; }
-  std::size_t subq_param_count() const { return online_subq_->param_count(); }
-  /// All learned parameters (online Sub-Q + autoencoder), for persistence.
+  std::size_t subq_param_count() const;
+  std::size_t autoencoder_param_count() const;
+  /// All learned parameters (online Sub-Q + autoencoder) as double-typed
+  /// blocks. Only valid for f64 networks; throws std::logic_error at f32 —
+  /// use param_values() or save/load for precision-agnostic access.
   std::vector<nn::ParamBlockPtr> trainable_params() const;
+  /// Flattened copy of every learned parameter as double, at any precision.
+  std::vector<double> param_values() const;
+  /// Persist / restore online Sub-Q + autoencoder (nn/serialize.hpp text
+  /// format, precision-agnostic). Loading also syncs the target network.
+  void save_params(std::ostream& out) const;
+  void load_params(std::istream& in);
   double last_autoencoder_loss() const noexcept { return last_ae_loss_; }
 
   // -- state slicing helpers (public for tests) ------------------------------
@@ -80,22 +106,11 @@ class GroupedQNetwork {
   nn::Vec slice_job(const nn::Vec& full_state) const;
 
  private:
-  nn::Network build_subq(common::Rng& rng) const;
-  /// Q-values with an explicit Sub-Q network (shared by online/target paths).
-  nn::Vec q_values_with(nn::Network& subq, const nn::Vec& full_state);
-  /// All K group slices of `full_state` stacked as a (K x group_dim) matrix.
-  nn::Matrix group_matrix(const nn::Vec& full_state) const;
-  /// Input of head `group`: [g_k, s_j, codes of other groups]. `codes` holds
-  /// one code per row; row `code_row0 + k` is group k's code.
-  nn::Vec head_input(const nn::Vec& full_state, std::size_t group, const nn::Matrix& codes,
-                     std::size_t code_row0 = 0) const;
-
   GroupedQOptions opts_;
   std::size_t head_input_dim_ = 0;
-  std::unique_ptr<nn::Autoencoder> autoencoder_;
-  std::unique_ptr<nn::Network> online_subq_;
-  std::unique_ptr<nn::Network> target_subq_;
-  std::unique_ptr<nn::Adam> optimizer_;
+  // Exactly one core is non-null, matching opts_.precision.
+  std::unique_ptr<detail::GroupedQCore<float>> f32_;
+  std::unique_ptr<detail::GroupedQCore<double>> f64_;
   std::vector<nn::Vec> ae_buffer_;
   std::size_t ae_seen_ = 0;
   double last_ae_loss_ = -1.0;

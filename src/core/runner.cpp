@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "src/common/log.hpp"
+#include "src/nn/matrix.hpp"
 #include "src/core/global_tier.hpp"
 #include "src/core/local_tier.hpp"
 #include "src/sim/cluster.hpp"
@@ -113,6 +114,10 @@ class SerializedObserver final : public RunObserver {
 ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
   scenario.validate();
   const ExperimentConfig cfg = scenario.materialized();
+
+  // Process-global knob (atomic store; bit-identical at any count, so
+  // concurrent scenarios racing on it cannot change any result).
+  if (cfg.gemm_threads > 0) nn::set_gemm_threads(cfg.gemm_threads);
 
   const auto wall_start = std::chrono::steady_clock::now();
 

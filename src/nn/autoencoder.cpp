@@ -6,7 +6,8 @@
 
 namespace hcrl::nn {
 
-Autoencoder::Autoencoder(std::size_t input_dim, const Options& opts, common::Rng& rng)
+template <class S>
+AutoencoderT<S>::AutoencoderT(std::size_t input_dim, const Options& opts, common::Rng& rng)
     : input_dim_(input_dim), grad_clip_(opts.grad_clip) {
   if (input_dim == 0) throw std::invalid_argument("Autoencoder: input_dim must be > 0");
   if (opts.encoder_dims.empty()) {
@@ -28,60 +29,84 @@ Autoencoder::Autoencoder(std::size_t input_dim, const Options& opts, common::Rng
   decoder_.add_dense(prev, input_dim, Activation::kIdentity, rng);
 
   auto all = params();
-  optimizer_ = std::make_unique<Adam>(all, Adam::Options{.lr = opts.learning_rate});
+  optimizer_ = std::make_unique<AdamT<S>>(all, AdamOptions{.lr = opts.learning_rate});
 }
 
-Vec Autoencoder::encode(const Vec& x) { return encoder_.predict(x); }
+template <class S>
+VecT<S> AutoencoderT<S>::encode(const VecT<S>& x) {
+  return encoder_.predict(x);
+}
 
-Matrix Autoencoder::encode_batch(Matrix X) {
+template <class S>
+MatrixT<S> AutoencoderT<S>::encode_batch(MatrixT<S> X) {
   if (X.cols() != input_dim_) {
     throw std::invalid_argument("Autoencoder::encode_batch: input is " + X.shape_string());
   }
   return encoder_.predict_batch(std::move(X));
 }
 
-Vec Autoencoder::encode_training(const Vec& x) { return encoder_.forward(x); }
+template <class S>
+VecT<S> AutoencoderT<S>::encode_training(const VecT<S>& x) {
+  return encoder_.forward(x);
+}
 
-Vec Autoencoder::backward_through_encoder(const Vec& dcode) { return encoder_.backward(dcode); }
+template <class S>
+VecT<S> AutoencoderT<S>::backward_through_encoder(const VecT<S>& dcode) {
+  return encoder_.backward(dcode);
+}
 
-Vec Autoencoder::reconstruct(const Vec& x) {
-  Vec code = encoder_.predict(x);
+template <class S>
+VecT<S> AutoencoderT<S>::reconstruct(const VecT<S>& x) {
+  VecT<S> code = encoder_.predict(x);
   return decoder_.predict(code);
 }
 
-double Autoencoder::train_batch(const std::vector<Vec>& batch) {
+template <class S>
+double AutoencoderT<S>::train_batch(const std::vector<VecT<S>>& batch) {
   if (batch.empty()) throw std::invalid_argument("Autoencoder::train_batch: empty batch");
-  for (const Vec& x : batch) {
+  for (const VecT<S>& x : batch) {
     if (x.size() != input_dim_) {
       throw std::invalid_argument("Autoencoder::train_batch: bad sample dimension");
     }
   }
+  return train_batch_matrix(MatrixT<S>::from_rows(batch));
+}
+
+template <class S>
+double AutoencoderT<S>::train_batch_matrix(const MatrixT<S>& X) {
+  if (X.rows() == 0 || X.cols() != input_dim_) {
+    throw std::invalid_argument("Autoencoder::train_batch_matrix: input is " + X.shape_string());
+  }
   optimizer_->zero_grad();
   // One batched reconstruction pass: per-sample gradient accumulation folds
   // into the GEMMs of the backward sweep.
-  const Matrix X = Matrix::from_rows(batch);
-  const double inv_n = 1.0 / static_cast<double>(batch.size());
-  Matrix code = encoder_.forward_batch(X);
-  Matrix recon = decoder_.forward_batch(code);
-  BatchLossResult loss = mse_loss_batch(recon, X, inv_n);
-  Matrix dcode = decoder_.backward_batch(loss.grad);
+  const double inv_n = 1.0 / static_cast<double>(X.rows());
+  MatrixT<S> code = encoder_.forward_batch(X);
+  MatrixT<S> recon = decoder_.forward_batch(code);
+  BatchLossResultT<S> loss = mse_loss_batch(recon, X, static_cast<S>(inv_n));
+  MatrixT<S> dcode = decoder_.backward_batch(loss.grad);
   encoder_.backward_batch(dcode, /*want_input_grad=*/false);
   clip_grad_norm(params(), grad_clip_);
   optimizer_->step();
   return loss.value * inv_n;
 }
 
-std::vector<ParamBlockPtr> Autoencoder::params() const {
+template <class S>
+std::vector<ParamBlockPtrT<S>> AutoencoderT<S>::params() const {
   auto out = encoder_.params();
   auto dec = decoder_.params();
   out.insert(out.end(), dec.begin(), dec.end());
   return out;
 }
 
-std::size_t Autoencoder::param_count() const {
+template <class S>
+std::size_t AutoencoderT<S>::param_count() const {
   std::size_t n = 0;
   for (const auto& p : params()) n += p->param_count();
   return n;
 }
+
+template class AutoencoderT<float>;
+template class AutoencoderT<double>;
 
 }  // namespace hcrl::nn

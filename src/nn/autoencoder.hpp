@@ -4,6 +4,9 @@
 // 30 and 15 neurons; the decoder mirrors it. One Autoencoder instance can be
 // applied to all K groups because the K logical autoencoders share weights —
 // the LIFO layer caches make repeated forward() calls differentiable.
+//
+// Templated on the Scalar type (float/double instantiations in
+// autoencoder.cpp); `Autoencoder` aliases the double instantiation.
 #pragma once
 
 #include <vector>
@@ -14,49 +17,61 @@
 
 namespace hcrl::nn {
 
-class Autoencoder {
- public:
-  struct Options {
-    std::vector<std::size_t> encoder_dims = {30, 15};  // per the paper
-    Activation activation = Activation::kElu;
-    double learning_rate = 1e-3;
-    double grad_clip = 10.0;
-  };
+/// Options are Scalar-independent (shared by both instantiations).
+struct AutoencoderOptions {
+  std::vector<std::size_t> encoder_dims = {30, 15};  // per the paper
+  Activation activation = Activation::kElu;
+  double learning_rate = 1e-3;
+  double grad_clip = 10.0;
+};
 
-  Autoencoder(std::size_t input_dim, const Options& opts, common::Rng& rng);
+template <class S>
+class AutoencoderT {
+ public:
+  using Options = AutoencoderOptions;
+
+  AutoencoderT(std::size_t input_dim, const Options& opts, common::Rng& rng);
 
   std::size_t input_dim() const noexcept { return input_dim_; }
   std::size_t code_dim() const noexcept { return code_dim_; }
 
   /// Encode without caching (inference).
-  Vec encode(const Vec& x);
+  VecT<S> encode(const VecT<S>& x);
   /// Encode a (batch x input_dim) matrix of samples in one GEMM sweep.
-  Matrix encode_batch(Matrix X);
+  MatrixT<S> encode_batch(MatrixT<S> X);
   /// Encode, keeping caches so that a later backward_through_encoder() can
   /// propagate downstream gradients into the encoder weights.
-  Vec encode_training(const Vec& x);
+  VecT<S> encode_training(const VecT<S>& x);
   /// Back-propagate dL/dcode from a downstream consumer through the encoder
   /// (one pending encode_training per call, reverse order).
-  Vec backward_through_encoder(const Vec& dcode);
+  VecT<S> backward_through_encoder(const VecT<S>& dcode);
 
   /// Full reconstruction (inference).
-  Vec reconstruct(const Vec& x);
+  VecT<S> reconstruct(const VecT<S>& x);
 
   /// One self-supervised training step on a batch; returns mean MSE.
-  double train_batch(const std::vector<Vec>& batch);
+  double train_batch(const std::vector<VecT<S>>& batch);
+  /// train_batch over samples already stacked as a (batch x input_dim)
+  /// matrix (no per-sample Vec staging — the hot observe_state path).
+  double train_batch_matrix(const MatrixT<S>& X);
 
-  Network& encoder() noexcept { return encoder_; }
-  Network& decoder() noexcept { return decoder_; }
-  std::vector<ParamBlockPtr> params() const;
+  NetworkT<S>& encoder() noexcept { return encoder_; }
+  NetworkT<S>& decoder() noexcept { return decoder_; }
+  std::vector<ParamBlockPtrT<S>> params() const;
   std::size_t param_count() const;
 
  private:
   std::size_t input_dim_;
   std::size_t code_dim_;
-  Network encoder_;
-  Network decoder_;
-  std::unique_ptr<Adam> optimizer_;
+  NetworkT<S> encoder_;
+  NetworkT<S> decoder_;
+  std::unique_ptr<AdamT<S>> optimizer_;
   double grad_clip_;
 };
+
+using Autoencoder = AutoencoderT<double>;
+
+extern template class AutoencoderT<float>;
+extern template class AutoencoderT<double>;
 
 }  // namespace hcrl::nn

@@ -4,33 +4,55 @@
 
 namespace hcrl::nn {
 
-void xavier_uniform(Matrix& w, common::Rng& rng) {
+template <class S>
+void xavier_uniform(MatrixT<S>& w, common::Rng& rng) {
   const double limit = std::sqrt(6.0 / static_cast<double>(w.rows() + w.cols()));
-  for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = rng.uniform(-limit, limit);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w.data()[i] = static_cast<S>(rng.uniform(-limit, limit));
+  }
 }
 
-void he_normal(Matrix& w, common::Rng& rng) {
+template <class S>
+void he_normal(MatrixT<S>& w, common::Rng& rng) {
   const double stddev = std::sqrt(2.0 / static_cast<double>(w.cols()));
-  for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = rng.normal(0.0, stddev);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w.data()[i] = static_cast<S>(rng.normal(0.0, stddev));
+  }
 }
 
-void normal_init(Matrix& w, common::Rng& rng, double mean, double stddev) {
-  for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = rng.normal(mean, stddev);
+template <class S>
+void normal_init(MatrixT<S>& w, common::Rng& rng, double mean, double stddev) {
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w.data()[i] = static_cast<S>(rng.normal(mean, stddev));
+  }
 }
 
-void init_dense(DenseParams& p, common::Rng& rng, double bias) {
+template <class S>
+void init_dense(DenseParamsT<S>& p, common::Rng& rng, double bias) {
   he_normal(p.W, rng);
-  for (auto& b : p.b) b = bias;
+  for (auto& b : p.b) b = static_cast<S>(bias);
 }
 
-void init_lstm(LstmParams& p, common::Rng& rng) {
+template <class S>
+void init_lstm(LstmParamsT<S>& p, common::Rng& rng) {
   xavier_uniform(p.Wx, rng);
   xavier_uniform(p.Wh, rng);
   // Forget-gate bias of 1.0 is the standard trick to let gradients flow
   // early in training; other gates start unbiased.
   const std::size_t h = p.hidden_dim();
-  for (std::size_t i = 0; i < p.b.size(); ++i) p.b[i] = 0.0;
-  for (std::size_t i = h; i < 2 * h; ++i) p.b[i] = 1.0;
+  for (std::size_t i = 0; i < p.b.size(); ++i) p.b[i] = S(0);
+  for (std::size_t i = h; i < 2 * h; ++i) p.b[i] = S(1);
 }
+
+#define HCRL_NN_INSTANTIATE_INIT(S)                                     \
+  template void xavier_uniform<S>(MatrixT<S>&, common::Rng&);           \
+  template void he_normal<S>(MatrixT<S>&, common::Rng&);                \
+  template void normal_init<S>(MatrixT<S>&, common::Rng&, double, double); \
+  template void init_dense<S>(DenseParamsT<S>&, common::Rng&, double);  \
+  template void init_lstm<S>(LstmParamsT<S>&, common::Rng&);
+
+HCRL_NN_INSTANTIATE_INIT(float)
+HCRL_NN_INSTANTIATE_INIT(double)
+#undef HCRL_NN_INSTANTIATE_INIT
 
 }  // namespace hcrl::nn

@@ -1,4 +1,9 @@
 // Weight initializers.
+//
+// Templated on the Scalar type. All draws come from the Rng's double stream
+// and are cast to the target Scalar, so a float-typed model initialized from
+// seed X holds exactly the rounded weights of the double-typed model from
+// the same seed — the property the f32-vs-f64 parity gates rely on.
 #pragma once
 
 #include "src/common/rng.hpp"
@@ -7,19 +12,24 @@
 namespace hcrl::nn {
 
 /// Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6 / (fan_in+fan_out)).
-void xavier_uniform(Matrix& w, common::Rng& rng);
+template <class S>
+void xavier_uniform(MatrixT<S>& w, common::Rng& rng);
 
 /// He/Kaiming normal: N(0, sqrt(2 / fan_in)). Suited to ELU/ReLU layers.
-void he_normal(Matrix& w, common::Rng& rng);
+template <class S>
+void he_normal(MatrixT<S>& w, common::Rng& rng);
 
 /// N(mean, stddev) on every entry — the paper initializes the LSTM
 /// input/output layers as N(0, 1) with bias 0.1.
-void normal_init(Matrix& w, common::Rng& rng, double mean, double stddev);
+template <class S>
+void normal_init(MatrixT<S>& w, common::Rng& rng, double mean, double stddev);
 
 /// Initialize a dense layer (He weights, zero bias by default).
-void init_dense(DenseParams& p, common::Rng& rng, double bias = 0.0);
+template <class S>
+void init_dense(DenseParamsT<S>& p, common::Rng& rng, double bias = 0.0);
 
 /// Initialize an LSTM block (Xavier weights, forget-gate bias = 1).
-void init_lstm(LstmParams& p, common::Rng& rng);
+template <class S>
+void init_lstm(LstmParamsT<S>& p, common::Rng& rng);
 
 }  // namespace hcrl::nn

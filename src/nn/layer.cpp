@@ -4,22 +4,32 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/nn/fastmath.hpp"
+
 namespace hcrl::nn {
 
-Vec Layer::forward(const Vec& x) { return forward_batch(Matrix::from_row(x)).row(0); }
+template <class S>
+VecT<S> LayerT<S>::forward(const VecT<S>& x) {
+  return forward_batch(MatrixT<S>::from_row(x)).row(0);
+}
 
-Vec Layer::backward(const Vec& dy) { return backward_batch(Matrix::from_row(dy)).row(0); }
+template <class S>
+VecT<S> LayerT<S>::backward(const VecT<S>& dy) {
+  return backward_batch(MatrixT<S>::from_row(dy)).row(0);
+}
 
-Dense::Dense(DenseParamsPtr params) : params_(std::move(params)) {
+template <class S>
+DenseT<S>::DenseT(DenseParamsPtrT<S> params) : params_(std::move(params)) {
   if (!params_) throw std::invalid_argument("Dense: null params");
 }
 
-Matrix Dense::forward_batch(Matrix X, bool keep_cache) {
+template <class S>
+MatrixT<S> DenseT<S>::forward_batch(MatrixT<S> X, bool keep_cache) {
   assert(X.cols() == params_->in_dim());
   // Seed every row with the bias, then accumulate X W^T on top in one GEMM
   // for the whole batch — one write pass over Y instead of a separate
   // broadcast-add pass (addition commutes, so the rounding is unchanged).
-  Matrix Y;
+  MatrixT<S> Y;
   Y.resize_for_overwrite(X.rows(), params_->out_dim());
   for (std::size_t r = 0; r < Y.rows(); ++r) Y.set_row(r, params_->b);
   gemm_nt(X, params_->W, Y, /*accumulate=*/true);
@@ -27,105 +37,124 @@ Matrix Dense::forward_batch(Matrix X, bool keep_cache) {
   return Y;
 }
 
-Matrix Dense::backward_batch(const Matrix& dY, bool want_input_grad) {
+template <class S>
+MatrixT<S> DenseT<S>::backward_batch(const MatrixT<S>& dY, bool want_input_grad) {
   if (inputs_.empty()) throw std::logic_error("Dense::backward without forward");
   assert(dY.cols() == params_->out_dim());
-  const Matrix X = std::move(inputs_.back());
+  const MatrixT<S> X = std::move(inputs_.back());
   inputs_.pop_back();
   if (dY.rows() != X.rows()) throw std::invalid_argument("Dense::backward: batch mismatch");
   gemm_tn(dY, X, params_->gW, /*accumulate=*/true);  // gW += dY^T X
   dY.add_col_sums_into(params_->gb);                 // gb += per-row dy, in row order
-  Matrix dX;
+  MatrixT<S> dX;
   if (want_input_grad) gemm(dY, params_->W, dX);  // dX = dY W
   return dX;
 }
 
-void Dense::collect_params(std::vector<ParamBlockPtr>& out) const { out.push_back(params_); }
+template <class S>
+void DenseT<S>::collect_params(std::vector<ParamBlockPtrT<S>>& out) const {
+  out.push_back(params_);
+}
 
-double activate(Activation kind, double x) noexcept {
+template <class S>
+S activate(Activation kind, S x) noexcept {
   switch (kind) {
     case Activation::kIdentity: return x;
-    case Activation::kRelu: return x > 0.0 ? x : 0.0;
-    case Activation::kElu: return x > 0.0 ? x : std::expm1(x);
-    case Activation::kTanh: return std::tanh(x);
-    case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-x));
+    case Activation::kRelu: return x > S(0) ? x : S(0);
+    case Activation::kElu: return x > S(0) ? x : fastmath::expm1_s(x);
+    case Activation::kTanh: return fastmath::tanh_s(x);
+    case Activation::kSigmoid: return fastmath::sigmoid_s(x);
   }
   return x;
 }
 
-double activate_grad_from_output(Activation kind, double y) noexcept {
+template <class S>
+S activate_grad_from_output(Activation kind, S y) noexcept {
   switch (kind) {
-    case Activation::kIdentity: return 1.0;
-    case Activation::kRelu: return y > 0.0 ? 1.0 : 0.0;
+    case Activation::kIdentity: return S(1);
+    case Activation::kRelu: return y > S(0) ? S(1) : S(0);
     // ELU (alpha=1): y = e^x - 1 for x<=0, so dy/dx = e^x = y + 1; y>0 -> 1.
-    case Activation::kElu: return y > 0.0 ? 1.0 : y + 1.0;
-    case Activation::kTanh: return 1.0 - y * y;
-    case Activation::kSigmoid: return y * (1.0 - y);
+    case Activation::kElu: return y > S(0) ? S(1) : y + S(1);
+    case Activation::kTanh: return S(1) - y * y;
+    case Activation::kSigmoid: return y * (S(1) - y);
   }
-  return 1.0;
+  return S(1);
 }
 
-Matrix ActivationLayer::forward_batch(Matrix X, bool keep_cache) {
+template <class S>
+MatrixT<S> ActivationLayerT<S>::forward_batch(MatrixT<S> X, bool keep_cache) {
   assert(X.cols() == dim_);
   // Transform in place: the by-value input is ours to reuse, so inference
   // allocates nothing. Dispatch on the activation once, not per element, so
   // the simple kinds vectorize and the transcendental kinds lose the
   // per-element switch.
-  double* v = X.data();
+  S* v = X.data();
   const std::size_t size = X.size();
   switch (kind_) {
     case Activation::kIdentity:
       break;
     case Activation::kRelu:
-      for (std::size_t i = 0; i < size; ++i) v[i] = v[i] > 0.0 ? v[i] : 0.0;
+      for (std::size_t i = 0; i < size; ++i) v[i] = v[i] > S(0) ? v[i] : S(0);
       break;
     case Activation::kElu:
       for (std::size_t i = 0; i < size; ++i) {
-        if (v[i] <= 0.0) v[i] = std::expm1(v[i]);
+        if (v[i] <= S(0)) v[i] = fastmath::expm1_s(v[i]);
       }
       break;
     case Activation::kTanh:
-      for (std::size_t i = 0; i < size; ++i) v[i] = std::tanh(v[i]);
+      for (std::size_t i = 0; i < size; ++i) v[i] = fastmath::tanh_s(v[i]);
       break;
     case Activation::kSigmoid:
-      for (std::size_t i = 0; i < size; ++i) v[i] = 1.0 / (1.0 + std::exp(-v[i]));
+      for (std::size_t i = 0; i < size; ++i) v[i] = fastmath::sigmoid_s(v[i]);
       break;
   }
   if (keep_cache) outputs_.push_back(X);
   return X;
 }
 
-Matrix ActivationLayer::backward_batch(const Matrix& dY, bool /*want_input_grad*/) {
+template <class S>
+MatrixT<S> ActivationLayerT<S>::backward_batch(const MatrixT<S>& dY, bool /*want_input_grad*/) {
   // The "input gradient" of an activation is also its parameter-gradient
   // carrier for the layers below, so it is always computed.
   if (outputs_.empty()) throw std::logic_error("ActivationLayer::backward without forward");
-  const Matrix Y = std::move(outputs_.back());
+  const MatrixT<S> Y = std::move(outputs_.back());
   outputs_.pop_back();
   if (!dY.same_shape(Y)) throw std::invalid_argument("ActivationLayer::backward: shape mismatch");
-  Matrix dX;
+  MatrixT<S> dX;
   dX.resize_for_overwrite(dY.rows(), dY.cols());
-  const double* dy = dY.data();
-  const double* y = Y.data();
-  double* dx = dX.data();
+  const S* dy = dY.data();
+  const S* y = Y.data();
+  S* dx = dX.data();
   const std::size_t size = dY.size();
   switch (kind_) {
     case Activation::kIdentity:
       for (std::size_t i = 0; i < size; ++i) dx[i] = dy[i];
       break;
     case Activation::kRelu:
-      for (std::size_t i = 0; i < size; ++i) dx[i] = y[i] > 0.0 ? dy[i] : 0.0;
+      for (std::size_t i = 0; i < size; ++i) dx[i] = y[i] > S(0) ? dy[i] : S(0);
       break;
     case Activation::kElu:
-      for (std::size_t i = 0; i < size; ++i) dx[i] = dy[i] * (y[i] > 0.0 ? 1.0 : y[i] + 1.0);
+      for (std::size_t i = 0; i < size; ++i) dx[i] = dy[i] * (y[i] > S(0) ? S(1) : y[i] + S(1));
       break;
     case Activation::kTanh:
-      for (std::size_t i = 0; i < size; ++i) dx[i] = dy[i] * (1.0 - y[i] * y[i]);
+      for (std::size_t i = 0; i < size; ++i) dx[i] = dy[i] * (S(1) - y[i] * y[i]);
       break;
     case Activation::kSigmoid:
-      for (std::size_t i = 0; i < size; ++i) dx[i] = dy[i] * (y[i] * (1.0 - y[i]));
+      for (std::size_t i = 0; i < size; ++i) dx[i] = dy[i] * (y[i] * (S(1) - y[i]));
       break;
   }
   return dX;
 }
+
+#define HCRL_NN_INSTANTIATE_LAYER(S)                     \
+  template class LayerT<S>;                              \
+  template class DenseT<S>;                              \
+  template class ActivationLayerT<S>;                    \
+  template S activate<S>(Activation, S) noexcept;        \
+  template S activate_grad_from_output<S>(Activation, S) noexcept;
+
+HCRL_NN_INSTANTIATE_LAYER(float)
+HCRL_NN_INSTANTIATE_LAYER(double)
+#undef HCRL_NN_INSTANTIATE_LAYER
 
 }  // namespace hcrl::nn

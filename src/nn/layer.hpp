@@ -10,7 +10,9 @@
 // (batch x dim) Matrix and the heavy lifting happens in the GEMM kernels of
 // matrix.hpp. The per-sample Vec API is a thin wrapper over batch = 1, so
 // both paths run the same kernels and stay bit-compatible (pinned by
-// tests/batch_parity_test.cpp).
+// tests/batch_parity_test.cpp). Layers are templated on the Scalar type
+// (float/double instantiations in layer.cpp); the unsuffixed names alias
+// the double instantiation.
 #pragma once
 
 #include <memory>
@@ -20,9 +22,10 @@
 
 namespace hcrl::nn {
 
-class Layer {
+template <class S>
+class LayerT {
  public:
-  virtual ~Layer() = default;
+  virtual ~LayerT() = default;
 
   virtual std::size_t in_dim() const = 0;
   virtual std::size_t out_dim() const = 0;
@@ -32,61 +35,64 @@ class Layer {
   /// cache push becomes a move instead of a copy. With keep_cache, pushes
   /// whatever backward_batch() needs (LIFO); inference passes false and
   /// skips the caches entirely.
-  virtual Matrix forward_batch(Matrix X, bool keep_cache = true) = 0;
+  virtual MatrixT<S> forward_batch(MatrixT<S> X, bool keep_cache = true) = 0;
   /// Given dL/dY (batch x out_dim), accumulate parameter gradients and
   /// return dL/dX. Must be called once per pending forward, in reverse
   /// order, with the same batch size as the matching forward. When the
   /// caller discards dL/dX (every trainer's first layer does), pass
   /// want_input_grad = false to skip computing it; the returned matrix is
   /// then empty.
-  virtual Matrix backward_batch(const Matrix& dY, bool want_input_grad = true) = 0;
+  virtual MatrixT<S> backward_batch(const MatrixT<S>& dY, bool want_input_grad = true) = 0;
 
   /// Per-sample wrappers: one row through the batched kernels.
-  Vec forward(const Vec& x);
-  Vec backward(const Vec& dy);
+  VecT<S> forward(const VecT<S>& x);
+  VecT<S> backward(const VecT<S>& dy);
 
   /// Drop any pending caches (e.g. after inference-only forwards).
   virtual void clear_cache() = 0;
   /// Parameter blocks of this layer (empty for activations).
-  virtual void collect_params(std::vector<ParamBlockPtr>& out) const = 0;
+  virtual void collect_params(std::vector<ParamBlockPtrT<S>>& out) const = 0;
 };
 
-using LayerPtr = std::unique_ptr<Layer>;
+template <class S>
+using LayerPtrT = std::unique_ptr<LayerT<S>>;
 
 /// Fully-connected layer Y = X W^T + b over a (possibly shared) DenseParams.
-class Dense final : public Layer {
+template <class S>
+class DenseT final : public LayerT<S> {
  public:
-  explicit Dense(DenseParamsPtr params);
+  explicit DenseT(DenseParamsPtrT<S> params);
 
   std::size_t in_dim() const override { return params_->in_dim(); }
   std::size_t out_dim() const override { return params_->out_dim(); }
 
-  Matrix forward_batch(Matrix X, bool keep_cache = true) override;
-  Matrix backward_batch(const Matrix& dY, bool want_input_grad = true) override;
+  MatrixT<S> forward_batch(MatrixT<S> X, bool keep_cache = true) override;
+  MatrixT<S> backward_batch(const MatrixT<S>& dY, bool want_input_grad = true) override;
   void clear_cache() override { inputs_.clear(); }
-  void collect_params(std::vector<ParamBlockPtr>& out) const override;
+  void collect_params(std::vector<ParamBlockPtrT<S>>& out) const override;
 
-  const DenseParamsPtr& params() const noexcept { return params_; }
+  const DenseParamsPtrT<S>& params() const noexcept { return params_; }
 
  private:
-  DenseParamsPtr params_;
-  std::vector<Matrix> inputs_;
+  DenseParamsPtrT<S> params_;
+  std::vector<MatrixT<S>> inputs_;
 };
 
 enum class Activation { kIdentity, kRelu, kElu, kTanh, kSigmoid };
 
 /// Elementwise activation layer.
-class ActivationLayer final : public Layer {
+template <class S>
+class ActivationLayerT final : public LayerT<S> {
  public:
-  ActivationLayer(Activation kind, std::size_t dim) : kind_(kind), dim_(dim) {}
+  ActivationLayerT(Activation kind, std::size_t dim) : kind_(kind), dim_(dim) {}
 
   std::size_t in_dim() const override { return dim_; }
   std::size_t out_dim() const override { return dim_; }
 
-  Matrix forward_batch(Matrix X, bool keep_cache = true) override;
-  Matrix backward_batch(const Matrix& dY, bool want_input_grad = true) override;
+  MatrixT<S> forward_batch(MatrixT<S> X, bool keep_cache = true) override;
+  MatrixT<S> backward_batch(const MatrixT<S>& dY, bool want_input_grad = true) override;
   void clear_cache() override { outputs_.clear(); }
-  void collect_params(std::vector<ParamBlockPtr>&) const override {}
+  void collect_params(std::vector<ParamBlockPtrT<S>>&) const override {}
 
   Activation kind() const noexcept { return kind_; }
 
@@ -95,12 +101,19 @@ class ActivationLayer final : public Layer {
   std::size_t dim_;
   // We cache *outputs*: for all supported activations the derivative is
   // expressible from the output alone, halving cache traffic.
-  std::vector<Matrix> outputs_;
+  std::vector<MatrixT<S>> outputs_;
 };
 
+using Layer = LayerT<double>;
+using LayerPtr = LayerPtrT<double>;
+using Dense = DenseT<double>;
+using ActivationLayer = ActivationLayerT<double>;
+
 // Scalar activation helpers (exposed for tests and the LSTM).
-double activate(Activation kind, double x) noexcept;
+template <class S>
+S activate(Activation kind, S x) noexcept;
 /// Derivative d(activation)/dx expressed in terms of the *output* y.
-double activate_grad_from_output(Activation kind, double y) noexcept;
+template <class S>
+S activate_grad_from_output(Activation kind, S y) noexcept;
 
 }  // namespace hcrl::nn

@@ -6,91 +6,98 @@
 
 namespace hcrl::nn {
 
-LossResult mse_loss(const Vec& pred, const Vec& target) {
+template <class S>
+LossResultT<S> mse_loss(const VecT<S>& pred, const VecT<S>& target) {
   assert(pred.size() == target.size());
   if (pred.empty()) throw std::invalid_argument("mse_loss: empty");
-  LossResult out;
+  LossResultT<S> out;
   out.grad.resize(pred.size());
-  const double inv_n = 1.0 / static_cast<double>(pred.size());
+  const S inv_n = S(1) / static_cast<S>(pred.size());
   for (std::size_t i = 0; i < pred.size(); ++i) {
-    const double d = pred[i] - target[i];
-    out.value += d * d * inv_n;
-    out.grad[i] = 2.0 * d * inv_n;
+    const S d = pred[i] - target[i];
+    out.value += static_cast<double>(d * d * inv_n);
+    out.grad[i] = S(2) * d * inv_n;
   }
   return out;
 }
 
-LossResult huber_loss(const Vec& pred, const Vec& target, double delta) {
+template <class S>
+LossResultT<S> huber_loss(const VecT<S>& pred, const VecT<S>& target, S delta) {
   assert(pred.size() == target.size());
   if (pred.empty()) throw std::invalid_argument("huber_loss: empty");
-  if (delta <= 0.0) throw std::invalid_argument("huber_loss: delta must be > 0");
-  LossResult out;
+  if (delta <= S(0)) throw std::invalid_argument("huber_loss: delta must be > 0");
+  LossResultT<S> out;
   out.grad.resize(pred.size());
-  const double inv_n = 1.0 / static_cast<double>(pred.size());
+  const S inv_n = S(1) / static_cast<S>(pred.size());
   for (std::size_t i = 0; i < pred.size(); ++i) {
-    const double d = pred[i] - target[i];
+    const S d = pred[i] - target[i];
     if (std::abs(d) <= delta) {
-      out.value += 0.5 * d * d * inv_n;
+      out.value += static_cast<double>(S(0.5) * d * d * inv_n);
       out.grad[i] = d * inv_n;
     } else {
-      out.value += delta * (std::abs(d) - 0.5 * delta) * inv_n;
-      out.grad[i] = (d > 0.0 ? delta : -delta) * inv_n;
+      out.value += static_cast<double>(delta * (std::abs(d) - S(0.5) * delta) * inv_n);
+      out.grad[i] = (d > S(0) ? delta : -delta) * inv_n;
     }
   }
   return out;
 }
 
-LossResult masked_mse_loss(const Vec& pred, std::size_t index, double target) {
+template <class S>
+LossResultT<S> masked_mse_loss(const VecT<S>& pred, std::size_t index, S target) {
   if (index >= pred.size()) throw std::invalid_argument("masked_mse_loss: index out of range");
-  LossResult out;
-  out.grad.assign(pred.size(), 0.0);
-  const double d = pred[index] - target;
-  out.value = d * d;
-  out.grad[index] = 2.0 * d;
+  LossResultT<S> out;
+  out.grad.assign(pred.size(), S(0));
+  const S d = pred[index] - target;
+  out.value = static_cast<double>(d * d);
+  out.grad[index] = S(2) * d;
   return out;
 }
 
-LossResult masked_huber_loss(const Vec& pred, std::size_t index, double target, double delta) {
+template <class S>
+LossResultT<S> masked_huber_loss(const VecT<S>& pred, std::size_t index, S target, S delta) {
   if (index >= pred.size()) throw std::invalid_argument("masked_huber_loss: index out of range");
-  if (delta <= 0.0) throw std::invalid_argument("masked_huber_loss: delta must be > 0");
-  LossResult out;
-  out.grad.assign(pred.size(), 0.0);
-  const double d = pred[index] - target;
+  if (delta <= S(0)) throw std::invalid_argument("masked_huber_loss: delta must be > 0");
+  LossResultT<S> out;
+  out.grad.assign(pred.size(), S(0));
+  const S d = pred[index] - target;
   if (std::abs(d) <= delta) {
-    out.value = 0.5 * d * d;
+    out.value = static_cast<double>(S(0.5) * d * d);
     out.grad[index] = d;
   } else {
-    out.value = delta * (std::abs(d) - 0.5 * delta);
-    out.grad[index] = d > 0.0 ? delta : -delta;
+    out.value = static_cast<double>(delta * (std::abs(d) - S(0.5) * delta));
+    out.grad[index] = d > S(0) ? delta : -delta;
   }
   return out;
 }
 
-BatchLossResult mse_loss_batch(const Matrix& pred, const Matrix& target, double grad_scale) {
+template <class S>
+BatchLossResultT<S> mse_loss_batch(const MatrixT<S>& pred, const MatrixT<S>& target,
+                                   S grad_scale) {
   if (!pred.same_shape(target)) {
     throw std::invalid_argument("mse_loss_batch: shape mismatch " + pred.shape_string() + " vs " +
                                 target.shape_string());
   }
   if (pred.size() == 0) throw std::invalid_argument("mse_loss_batch: empty");
-  BatchLossResult out;
+  BatchLossResultT<S> out;
   out.grad.resize(pred.rows(), pred.cols());
-  const double inv_c = 1.0 / static_cast<double>(pred.cols());
+  const S inv_c = S(1) / static_cast<S>(pred.cols());
   for (std::size_t b = 0; b < pred.rows(); ++b) {
-    double row_value = 0.0;
+    S row_value = S(0);
     for (std::size_t i = 0; i < pred.cols(); ++i) {
-      const double d = pred(b, i) - target(b, i);
+      const S d = pred(b, i) - target(b, i);
       row_value += d * d * inv_c;
-      out.grad(b, i) = 2.0 * d * inv_c * grad_scale;
+      out.grad(b, i) = S(2) * d * inv_c * grad_scale;
     }
-    out.value += row_value;
+    out.value += static_cast<double>(row_value);
   }
   return out;
 }
 
 namespace {
 
-void check_masked_batch(const Matrix& pred, const std::vector<std::size_t>& index,
-                        const Vec& target, const char* who) {
+template <class S>
+void check_masked_batch(const MatrixT<S>& pred, const std::vector<std::size_t>& index,
+                        const VecT<S>& target, const char* who) {
   if (index.size() != pred.rows() || target.size() != pred.rows()) {
     throw std::invalid_argument(std::string(who) + ": need one index and target per row");
   }
@@ -103,36 +110,55 @@ void check_masked_batch(const Matrix& pred, const std::vector<std::size_t>& inde
 
 }  // namespace
 
-BatchLossResult masked_mse_loss_batch(const Matrix& pred, const std::vector<std::size_t>& index,
-                                      const Vec& target, double grad_scale) {
+template <class S>
+BatchLossResultT<S> masked_mse_loss_batch(const MatrixT<S>& pred,
+                                          const std::vector<std::size_t>& index,
+                                          const VecT<S>& target, S grad_scale) {
   check_masked_batch(pred, index, target, "masked_mse_loss_batch");
-  BatchLossResult out;
-  out.grad.resize(pred.rows(), pred.cols(), 0.0);
+  BatchLossResultT<S> out;
+  out.grad.resize(pred.rows(), pred.cols(), S(0));
   for (std::size_t b = 0; b < pred.rows(); ++b) {
-    const double d = pred(b, index[b]) - target[b];
-    out.value += d * d;
-    out.grad(b, index[b]) = 2.0 * d * grad_scale;
+    const S d = pred(b, index[b]) - target[b];
+    out.value += static_cast<double>(d * d);
+    out.grad(b, index[b]) = S(2) * d * grad_scale;
   }
   return out;
 }
 
-BatchLossResult masked_huber_loss_batch(const Matrix& pred, const std::vector<std::size_t>& index,
-                                        const Vec& target, double delta, double grad_scale) {
+template <class S>
+BatchLossResultT<S> masked_huber_loss_batch(const MatrixT<S>& pred,
+                                            const std::vector<std::size_t>& index,
+                                            const VecT<S>& target, S delta, S grad_scale) {
   check_masked_batch(pred, index, target, "masked_huber_loss_batch");
-  if (delta <= 0.0) throw std::invalid_argument("masked_huber_loss_batch: delta must be > 0");
-  BatchLossResult out;
-  out.grad.resize(pred.rows(), pred.cols(), 0.0);
+  if (delta <= S(0)) throw std::invalid_argument("masked_huber_loss_batch: delta must be > 0");
+  BatchLossResultT<S> out;
+  out.grad.resize(pred.rows(), pred.cols(), S(0));
   for (std::size_t b = 0; b < pred.rows(); ++b) {
-    const double d = pred(b, index[b]) - target[b];
+    const S d = pred(b, index[b]) - target[b];
     if (std::abs(d) <= delta) {
-      out.value += 0.5 * d * d;
+      out.value += static_cast<double>(S(0.5) * d * d);
       out.grad(b, index[b]) = d * grad_scale;
     } else {
-      out.value += delta * (std::abs(d) - 0.5 * delta);
-      out.grad(b, index[b]) = (d > 0.0 ? delta : -delta) * grad_scale;
+      out.value += static_cast<double>(delta * (std::abs(d) - S(0.5) * delta));
+      out.grad(b, index[b]) = (d > S(0) ? delta : -delta) * grad_scale;
     }
   }
   return out;
 }
+
+#define HCRL_NN_INSTANTIATE_LOSS(S)                                                          \
+  template LossResultT<S> mse_loss<S>(const VecT<S>&, const VecT<S>&);                       \
+  template LossResultT<S> huber_loss<S>(const VecT<S>&, const VecT<S>&, S);                  \
+  template LossResultT<S> masked_mse_loss<S>(const VecT<S>&, std::size_t, S);                \
+  template LossResultT<S> masked_huber_loss<S>(const VecT<S>&, std::size_t, S, S);           \
+  template BatchLossResultT<S> mse_loss_batch<S>(const MatrixT<S>&, const MatrixT<S>&, S);   \
+  template BatchLossResultT<S> masked_mse_loss_batch<S>(                                     \
+      const MatrixT<S>&, const std::vector<std::size_t>&, const VecT<S>&, S);                \
+  template BatchLossResultT<S> masked_huber_loss_batch<S>(                                   \
+      const MatrixT<S>&, const std::vector<std::size_t>&, const VecT<S>&, S, S);
+
+HCRL_NN_INSTANTIATE_LOSS(float)
+HCRL_NN_INSTANTIATE_LOSS(double)
+#undef HCRL_NN_INSTANTIATE_LOSS
 
 }  // namespace hcrl::nn

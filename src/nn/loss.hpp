@@ -1,30 +1,41 @@
 // Losses: value + gradient with respect to the prediction.
+//
+// Templated on the Scalar type of the prediction/gradient (float/double
+// instantiations in loss.cpp); loss *values* are always accumulated and
+// reported in double, so f32 training reports comparable loss curves.
 #pragma once
 
 #include "src/nn/matrix.hpp"
 
 namespace hcrl::nn {
 
-struct LossResult {
+template <class S>
+struct LossResultT {
   double value = 0.0;
-  Vec grad;  // dL/dpred
+  VecT<S> grad;  // dL/dpred
 };
 
+using LossResult = LossResultT<double>;
+
 /// Mean squared error: L = (1/n) * sum (pred - target)^2.
-LossResult mse_loss(const Vec& pred, const Vec& target);
+template <class S>
+LossResultT<S> mse_loss(const VecT<S>& pred, const VecT<S>& target);
 
 /// Huber loss with threshold delta (mean over components). Robust choice for
 /// Q-value regression (used by the DQN trainer).
-LossResult huber_loss(const Vec& pred, const Vec& target, double delta = 1.0);
+template <class S>
+LossResultT<S> huber_loss(const VecT<S>& pred, const VecT<S>& target, S delta = S(1));
 
 /// MSE on a single output component, leaving other gradients zero.
 /// Used when only the Q-value of the taken action receives a target.
-LossResult masked_mse_loss(const Vec& pred, std::size_t index, double target);
+template <class S>
+LossResultT<S> masked_mse_loss(const VecT<S>& pred, std::size_t index, S target);
 
 /// Huber loss on a single output component (gradient magnitude capped at
 /// delta) — the robust choice for Q-regression with bootstrapped targets.
-LossResult masked_huber_loss(const Vec& pred, std::size_t index, double target,
-                             double delta = 1.0);
+template <class S>
+LossResultT<S> masked_huber_loss(const VecT<S>& pred, std::size_t index, S target,
+                                 S delta = S(1));
 
 // --- batched variants -----------------------------------------------------
 //
@@ -35,21 +46,30 @@ LossResult masked_huber_loss(const Vec& pred, std::size_t index, double target,
 // accumulate bit-identical gradients. `value` is the *sum* of the per-row
 // loss values (callers divide by the batch size, as the per-sample loops do).
 
-struct BatchLossResult {
+template <class S>
+struct BatchLossResultT {
   double value = 0.0;
-  Matrix grad;  // dL/dpred, (batch x n), already multiplied by grad_scale
+  MatrixT<S> grad;  // dL/dpred, (batch x n), already multiplied by grad_scale
 };
 
+using BatchLossResult = BatchLossResultT<double>;
+
 /// Row-wise MSE (mean over components, summed over rows).
-BatchLossResult mse_loss_batch(const Matrix& pred, const Matrix& target, double grad_scale = 1.0);
+template <class S>
+BatchLossResultT<S> mse_loss_batch(const MatrixT<S>& pred, const MatrixT<S>& target,
+                                   S grad_scale = S(1));
 
 /// Row b contributes (pred(b, index[b]) - target[b])^2; other grads zero.
-BatchLossResult masked_mse_loss_batch(const Matrix& pred, const std::vector<std::size_t>& index,
-                                      const Vec& target, double grad_scale = 1.0);
+template <class S>
+BatchLossResultT<S> masked_mse_loss_batch(const MatrixT<S>& pred,
+                                          const std::vector<std::size_t>& index,
+                                          const VecT<S>& target, S grad_scale = S(1));
 
 /// Huber per row on component index[b] (gradient capped at delta).
-BatchLossResult masked_huber_loss_batch(const Matrix& pred, const std::vector<std::size_t>& index,
-                                        const Vec& target, double delta = 1.0,
-                                        double grad_scale = 1.0);
+template <class S>
+BatchLossResultT<S> masked_huber_loss_batch(const MatrixT<S>& pred,
+                                            const std::vector<std::size_t>& index,
+                                            const VecT<S>& target, S delta = S(1),
+                                            S grad_scale = S(1));
 
 }  // namespace hcrl::nn

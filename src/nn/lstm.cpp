@@ -3,29 +3,59 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "src/nn/fastmath.hpp"
 
 namespace hcrl::nn {
 
 namespace {
-inline double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+template <class S>
+inline S sigmoid(S x) noexcept {
+  return fastmath::sigmoid_s(x);
+}
+template <class S>
+inline S cell_tanh(S x) noexcept {
+  return fastmath::tanh_s(x);
+}
 }  // namespace
 
-Lstm::Lstm(LstmParamsPtr params) : params_(std::move(params)) {
+template <class S>
+LstmT<S>::LstmT(LstmParamsPtrT<S> params) : params_(std::move(params)) {
   if (!params_) throw std::invalid_argument("Lstm: null params");
   reset();
 }
 
-void Lstm::reset() { reset_batch(1); }
+template <class S>
+void LstmT<S>::reset() {
+  reset_batch(1);
+}
 
-void Lstm::reset_batch(std::size_t batch) {
+template <class S>
+void LstmT<S>::reset_batch(std::size_t batch) {
   if (batch == 0) throw std::invalid_argument("Lstm::reset_batch: batch must be > 0");
   batch_ = batch;
-  h_.resize(batch, hidden_dim(), 0.0);
-  c_.resize(batch, hidden_dim(), 0.0);
+  h_.resize(batch, hidden_dim(), S(0));
+  c_.resize(batch, hidden_dim(), S(0));
+  recycle_cache();
+}
+
+template <class S>
+typename LstmT<S>::StepCache LstmT<S>::take_spare() {
+  if (spare_.empty()) return StepCache{};
+  StepCache sc = std::move(spare_.back());
+  spare_.pop_back();
+  return sc;
+}
+
+template <class S>
+void LstmT<S>::recycle_cache() {
+  for (auto& sc : cache_) spare_.push_back(std::move(sc));
   cache_.clear();
 }
 
-const Matrix& Lstm::step_batch(const Matrix& X, bool keep_cache) {
+template <class S>
+const MatrixT<S>& LstmT<S>::step_batch(const MatrixT<S>& X, bool keep_cache) {
   if (X.cols() != in_dim()) {
     throw std::invalid_argument("Lstm::step_batch: input is " + X.shape_string());
   }
@@ -38,7 +68,7 @@ const Matrix& Lstm::step_batch(const Matrix& X, bool keep_cache) {
   // All four gate pre-activations for the whole batch in one GEMM per
   // operand: Z = b + X Wx^T + H_prev Wh^T, shape (B x 4H); the bias seeds
   // the accumulators so no separate broadcast pass is needed.
-  Matrix Z;
+  MatrixT<S>& Z = z_scratch_;
   Z.resize_for_overwrite(B, 4 * H);
   for (std::size_t b = 0; b < B; ++b) Z.set_row(b, params_->b);
   gemm_nt(X, params_->Wx, Z, /*accumulate=*/true);
@@ -48,18 +78,18 @@ const Matrix& Lstm::step_batch(const Matrix& X, bool keep_cache) {
     // Inference: update h/c in place, no per-step cache.
     for (std::size_t b = 0; b < B; ++b) {
       for (std::size_t j = 0; j < H; ++j) {
-        const double i = sigmoid(Z(b, j));
-        const double f = sigmoid(Z(b, H + j));
-        const double g = std::tanh(Z(b, 2 * H + j));
-        const double o = sigmoid(Z(b, 3 * H + j));
+        const S i = sigmoid(Z(b, j));
+        const S f = sigmoid(Z(b, H + j));
+        const S g = cell_tanh(Z(b, 2 * H + j));
+        const S o = sigmoid(Z(b, 3 * H + j));
         c_(b, j) = f * c_(b, j) + i * g;
-        h_(b, j) = o * std::tanh(c_(b, j));
+        h_(b, j) = o * cell_tanh(c_(b, j));
       }
     }
     return h_;
   }
 
-  StepCache sc;
+  StepCache sc = take_spare();
   sc.X = X;
   sc.Hprev = h_;
   sc.Cprev = c_;
@@ -72,12 +102,12 @@ const Matrix& Lstm::step_batch(const Matrix& X, bool keep_cache) {
 
   for (std::size_t b = 0; b < B; ++b) {
     for (std::size_t j = 0; j < H; ++j) {
-      const double i = sigmoid(Z(b, j));
-      const double f = sigmoid(Z(b, H + j));
-      const double g = std::tanh(Z(b, 2 * H + j));
-      const double o = sigmoid(Z(b, 3 * H + j));
-      const double c = f * sc.Cprev(b, j) + i * g;
-      const double tc = std::tanh(c);
+      const S i = sigmoid(Z(b, j));
+      const S f = sigmoid(Z(b, H + j));
+      const S g = cell_tanh(Z(b, 2 * H + j));
+      const S o = sigmoid(Z(b, 3 * H + j));
+      const S c = f * sc.Cprev(b, j) + i * g;
+      const S tc = cell_tanh(c);
       sc.I(b, j) = i;
       sc.F(b, j) = f;
       sc.G(b, j) = g;
@@ -92,16 +122,18 @@ const Matrix& Lstm::step_batch(const Matrix& X, bool keep_cache) {
   return h_;
 }
 
-std::vector<Matrix> Lstm::forward_batch(const std::vector<Matrix>& Xs) {
+template <class S>
+std::vector<MatrixT<S>> LstmT<S>::forward_batch(const std::vector<MatrixT<S>>& Xs) {
   if (Xs.empty()) return {};
   reset_batch(Xs.front().rows());
-  std::vector<Matrix> hs;
+  std::vector<MatrixT<S>> hs;
   hs.reserve(Xs.size());
   for (const auto& X : Xs) hs.push_back(step_batch(X));
   return hs;
 }
 
-std::vector<Matrix> Lstm::backward_batch(const std::vector<Matrix>& dH) {
+template <class S>
+std::vector<MatrixT<S>> LstmT<S>::backward_batch(const std::vector<MatrixT<S>>& dH) {
   if (dH.size() != cache_.size()) {
     throw std::invalid_argument("Lstm::backward: dH size != cached steps");
   }
@@ -116,31 +148,31 @@ std::vector<Matrix> Lstm::backward_batch(const std::vector<Matrix>& dH) {
                                   dH[tt].shape_string());
     }
   }
-  std::vector<Matrix> dX(T);
+  std::vector<MatrixT<S>> dX(T);
 
-  Matrix dHnext(B, H, 0.0);  // dL/dh_t flowing from step t+1
-  Matrix dCnext(B, H, 0.0);  // dL/dc_t flowing from step t+1
-  Matrix dZ(B, 4 * H);
+  MatrixT<S> dHnext(B, H, S(0));  // dL/dh_t flowing from step t+1
+  MatrixT<S> dCnext(B, H, S(0));  // dL/dc_t flowing from step t+1
+  MatrixT<S> dZ(B, 4 * H);
 
   for (std::size_t tt = T; tt-- > 0;) {
     const StepCache& sc = cache_[tt];
-    Matrix dHt = dH[tt];
+    MatrixT<S> dHt = dH[tt];
     add_in_place(dHt, dHnext);
 
     for (std::size_t b = 0; b < B; ++b) {
       for (std::size_t j = 0; j < H; ++j) {
         // h = o * tanh(c)
-        const double do_ = dHt(b, j) * sc.TanhC(b, j);
-        const double dc =
-            dHt(b, j) * sc.O(b, j) * (1.0 - sc.TanhC(b, j) * sc.TanhC(b, j)) + dCnext(b, j);
-        const double di = dc * sc.G(b, j);
-        const double df = dc * sc.Cprev(b, j);
-        const double dg = dc * sc.I(b, j);
+        const S do_ = dHt(b, j) * sc.TanhC(b, j);
+        const S dc =
+            dHt(b, j) * sc.O(b, j) * (S(1) - sc.TanhC(b, j) * sc.TanhC(b, j)) + dCnext(b, j);
+        const S di = dc * sc.G(b, j);
+        const S df = dc * sc.Cprev(b, j);
+        const S dg = dc * sc.I(b, j);
         // gate pre-activations
-        dZ(b, j) = di * sc.I(b, j) * (1.0 - sc.I(b, j));
-        dZ(b, H + j) = df * sc.F(b, j) * (1.0 - sc.F(b, j));
-        dZ(b, 2 * H + j) = dg * (1.0 - sc.G(b, j) * sc.G(b, j));
-        dZ(b, 3 * H + j) = do_ * sc.O(b, j) * (1.0 - sc.O(b, j));
+        dZ(b, j) = di * sc.I(b, j) * (S(1) - sc.I(b, j));
+        dZ(b, H + j) = df * sc.F(b, j) * (S(1) - sc.F(b, j));
+        dZ(b, 2 * H + j) = dg * (S(1) - sc.G(b, j) * sc.G(b, j));
+        dZ(b, 3 * H + j) = do_ * sc.O(b, j) * (S(1) - sc.O(b, j));
         dCnext(b, j) = dc * sc.F(b, j);
       }
     }
@@ -152,34 +184,40 @@ std::vector<Matrix> Lstm::backward_batch(const std::vector<Matrix>& dH) {
     gemm(dZ, params_->Wx, dX[tt]);
     gemm(dZ, params_->Wh, dHnext);
   }
-  cache_.clear();
+  recycle_cache();
   return dX;
 }
 
-Vec Lstm::step(const Vec& x) {
+template <class S>
+VecT<S> LstmT<S>::step(const VecT<S>& x) {
   if (batch_ != 1) {
     throw std::logic_error("Lstm::step: per-sample step on batched state; call reset() first");
   }
-  return step_batch(Matrix::from_row(x)).row(0);
+  return step_batch(MatrixT<S>::from_row(x)).row(0);
 }
 
-std::vector<Vec> Lstm::forward(const std::vector<Vec>& xs) {
+template <class S>
+std::vector<VecT<S>> LstmT<S>::forward(const std::vector<VecT<S>>& xs) {
   reset();
-  std::vector<Vec> hs;
+  std::vector<VecT<S>> hs;
   hs.reserve(xs.size());
   for (const auto& x : xs) hs.push_back(step(x));
   return hs;
 }
 
-std::vector<Vec> Lstm::backward(const std::vector<Vec>& dh) {
-  std::vector<Matrix> dH;
+template <class S>
+std::vector<VecT<S>> LstmT<S>::backward(const std::vector<VecT<S>>& dh) {
+  std::vector<MatrixT<S>> dH;
   dH.reserve(dh.size());
-  for (const auto& d : dh) dH.push_back(Matrix::from_row(d));
-  std::vector<Matrix> dX = backward_batch(dH);
-  std::vector<Vec> dx;
+  for (const auto& d : dh) dH.push_back(MatrixT<S>::from_row(d));
+  std::vector<MatrixT<S>> dX = backward_batch(dH);
+  std::vector<VecT<S>> dx;
   dx.reserve(dX.size());
   for (const auto& d : dX) dx.push_back(d.row(0));
   return dx;
 }
+
+template class LstmT<float>;
+template class LstmT<double>;
 
 }  // namespace hcrl::nn

@@ -11,7 +11,9 @@
 // The cell is batched: hidden and cell state are (batch x H) matrices, and
 // each timestep stacks the four gate pre-activations for the whole batch
 // into one (batch x 4H) GEMM against Wx / Wh. The per-sample step/backward
-// API is a thin wrapper over batch = 1 running the same kernels.
+// API is a thin wrapper over batch = 1 running the same kernels. Templated
+// on the Scalar type (float/double instantiations in lstm.cpp); `Lstm`
+// aliases the double instantiation.
 #pragma once
 
 #include <vector>
@@ -20,14 +22,15 @@
 
 namespace hcrl::nn {
 
-class Lstm {
+template <class S>
+class LstmT {
  public:
-  explicit Lstm(LstmParamsPtr params);
+  explicit LstmT(LstmParamsPtrT<S> params);
 
   std::size_t hidden_dim() const noexcept { return params_->hidden_dim(); }
   std::size_t in_dim() const noexcept { return params_->in_dim(); }
   std::size_t batch_size() const noexcept { return batch_; }
-  const LstmParamsPtr& params() const noexcept { return params_; }
+  const LstmParamsPtrT<S>& params() const noexcept { return params_; }
 
   /// Clear hidden/cell state and all cached steps (batch = 1).
   void reset();
@@ -39,47 +42,62 @@ class Lstm {
   /// One forward step for `batch` sequences at once: X is (batch x in_dim),
   /// the returned hidden state is (batch x H). With keep_cache, caches the
   /// step for backward_batch; inference passes false and skips the copies.
-  const Matrix& step_batch(const Matrix& X, bool keep_cache = true);
+  const MatrixT<S>& step_batch(const MatrixT<S>& X, bool keep_cache = true);
 
   /// Reset to Xs[0].rows() sequences, then run the whole stacked sequence;
   /// returns the (batch x H) hidden state of every step.
-  std::vector<Matrix> forward_batch(const std::vector<Matrix>& Xs);
+  std::vector<MatrixT<S>> forward_batch(const std::vector<MatrixT<S>>& Xs);
 
   /// BPTT over all cached steps. `dH` holds dL/dh_t (batch x H) for each
   /// cached step (zero matrices for steps without direct loss). Accumulates
   /// parameter gradients and returns dL/dX_t per step. Clears the cache.
-  std::vector<Matrix> backward_batch(const std::vector<Matrix>& dH);
+  std::vector<MatrixT<S>> backward_batch(const std::vector<MatrixT<S>>& dH);
 
-  const Matrix& hidden_batch() const noexcept { return h_; }
-  const Matrix& cell_batch() const noexcept { return c_; }
+  const MatrixT<S>& hidden_batch() const noexcept { return h_; }
+  const MatrixT<S>& cell_batch() const noexcept { return c_; }
 
   // --- per-sample wrappers (batch = 1) -------------------------------------
 
   /// One forward step; returns h_t and caches intermediates for backward.
-  Vec step(const Vec& x);
+  VecT<S> step(const VecT<S>& x);
 
   /// Reset, then run the whole sequence; returns h_t for every step.
-  std::vector<Vec> forward(const std::vector<Vec>& xs);
+  std::vector<VecT<S>> forward(const std::vector<VecT<S>>& xs);
 
   /// BPTT over all cached steps (see backward_batch); per-sample shapes.
-  std::vector<Vec> backward(const std::vector<Vec>& dh);
+  std::vector<VecT<S>> backward(const std::vector<VecT<S>>& dh);
 
   /// Row 0 of the hidden/cell state (the only row in per-sample use).
-  Vec hidden() const { return h_.row(0); }
-  Vec cell() const { return c_.row(0); }
+  VecT<S> hidden() const { return h_.row(0); }
+  VecT<S> cell() const { return c_.row(0); }
   std::size_t cached_steps() const noexcept { return cache_.size(); }
 
  private:
   struct StepCache {
-    Matrix X, Hprev, Cprev;
-    Matrix I, F, G, O;   // gate activations (batch x H each)
-    Matrix C, TanhC;     // new cell state and tanh(c)
+    MatrixT<S> X, Hprev, Cprev;
+    MatrixT<S> I, F, G, O;   // gate activations (batch x H each)
+    MatrixT<S> C, TanhC;     // new cell state and tanh(c)
   };
 
-  LstmParamsPtr params_;
+  /// Reusable StepCache (buffers intact) from the free list, or a fresh one.
+  StepCache take_spare();
+  /// Recycle consumed caches so the next sequence reuses their buffers.
+  void recycle_cache();
+
+  LstmParamsPtrT<S> params_;
   std::size_t batch_ = 1;
-  Matrix h_, c_;  // (batch x H)
+  MatrixT<S> h_, c_;  // (batch x H)
   std::vector<StepCache> cache_;
+  // Hot-path buffer reuse: the per-step gate pre-activation matrix and a
+  // free list of spent StepCaches (every field is fully overwritten before
+  // use, so recycling buffers cannot change any value).
+  MatrixT<S> z_scratch_;
+  std::vector<StepCache> spare_;
 };
+
+using Lstm = LstmT<double>;
+
+extern template class LstmT<float>;
+extern template class LstmT<double>;
 
 }  // namespace hcrl::nn

@@ -1,24 +1,33 @@
 #include "src/nn/matrix.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 namespace hcrl::nn {
 
-Matrix::Matrix(std::size_t rows, std::size_t cols, double fill) {
+template <class Scalar>
+MatrixT<Scalar>::MatrixT(std::size_t rows, std::size_t cols, Scalar fill) {
   resize(rows, cols, fill);
 }
 
-Matrix::Matrix(const Matrix& other) {
+template <class Scalar>
+MatrixT<Scalar>::MatrixT(const MatrixT& other) {
   resize_for_overwrite(other.rows_, other.cols_);
   const std::size_t n = size();
   for (std::size_t i = 0; i < n; ++i) data_[i] = other.data_[i];
 }
 
-Matrix::Matrix(Matrix&& other) noexcept
+template <class Scalar>
+MatrixT<Scalar>::MatrixT(MatrixT&& other) noexcept
     : rows_(other.rows_),
       cols_(other.cols_),
       capacity_(other.capacity_),
@@ -26,7 +35,8 @@ Matrix::Matrix(Matrix&& other) noexcept
   other.rows_ = other.cols_ = other.capacity_ = 0;
 }
 
-Matrix& Matrix::operator=(const Matrix& other) {
+template <class Scalar>
+MatrixT<Scalar>& MatrixT<Scalar>::operator=(const MatrixT& other) {
   if (this == &other) return *this;
   resize_for_overwrite(other.rows_, other.cols_);
   const std::size_t n = size();
@@ -34,7 +44,8 @@ Matrix& Matrix::operator=(const Matrix& other) {
   return *this;
 }
 
-Matrix& Matrix::operator=(Matrix&& other) noexcept {
+template <class Scalar>
+MatrixT<Scalar>& MatrixT<Scalar>::operator=(MatrixT&& other) noexcept {
   if (this == &other) return *this;
   rows_ = other.rows_;
   cols_ = other.cols_;
@@ -44,76 +55,85 @@ Matrix& Matrix::operator=(Matrix&& other) noexcept {
   return *this;
 }
 
-void Matrix::fill(double v) noexcept {
+template <class Scalar>
+void MatrixT<Scalar>::fill(Scalar v) noexcept {
   const std::size_t n = size();
   for (std::size_t i = 0; i < n; ++i) data_[i] = v;
 }
 
-void Matrix::resize(std::size_t rows, std::size_t cols, double fill_value) {
+template <class Scalar>
+void MatrixT<Scalar>::resize(std::size_t rows, std::size_t cols, Scalar fill_value) {
   resize_for_overwrite(rows, cols);
   fill(fill_value);
 }
 
-void Matrix::resize_for_overwrite(std::size_t rows, std::size_t cols) {
+template <class Scalar>
+void MatrixT<Scalar>::resize_for_overwrite(std::size_t rows, std::size_t cols) {
   const std::size_t n = rows * cols;
   if (n > capacity_) {
-    data_ = std::make_unique_for_overwrite<double[]>(n);
+    data_ = std::make_unique_for_overwrite<Scalar[]>(n);
     capacity_ = n;
   }
   rows_ = rows;
   cols_ = cols;
 }
 
-void Matrix::multiply(const Vec& x, Vec& y) const {
+template <class Scalar>
+void MatrixT<Scalar>::multiply(const VecT<Scalar>& x, VecT<Scalar>& y) const {
   assert(x.size() == cols_);
-  y.assign(rows_, 0.0);
-  const double* w = data_.get();
+  y.assign(rows_, Scalar(0));
+  const Scalar* w = data_.get();
   for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    const double* row = w + r * cols_;
+    Scalar acc = Scalar(0);
+    const Scalar* row = w + r * cols_;
     for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
     y[r] = acc;
   }
 }
 
-void Matrix::multiply_transposed(const Vec& x, Vec& y) const {
+template <class Scalar>
+void MatrixT<Scalar>::multiply_transposed(const VecT<Scalar>& x, VecT<Scalar>& y) const {
   assert(x.size() == rows_);
-  y.assign(cols_, 0.0);
-  const double* w = data_.get();
+  y.assign(cols_, Scalar(0));
+  const Scalar* w = data_.get();
   for (std::size_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) continue;
-    const double* row = w + r * cols_;
+    const Scalar xr = x[r];
+    if (xr == Scalar(0)) continue;
+    const Scalar* row = w + r * cols_;
     for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
   }
 }
 
-void Matrix::add_outer(const Vec& a, const Vec& b) {
+template <class Scalar>
+void MatrixT<Scalar>::add_outer(const VecT<Scalar>& a, const VecT<Scalar>& b) {
   assert(a.size() == rows_ && b.size() == cols_);
-  double* w = data_.get();
+  Scalar* w = data_.get();
   for (std::size_t r = 0; r < rows_; ++r) {
-    const double ar = a[r];
-    if (ar == 0.0) continue;
-    double* row = w + r * cols_;
+    const Scalar ar = a[r];
+    if (ar == Scalar(0)) continue;
+    Scalar* row = w + r * cols_;
     for (std::size_t c = 0; c < cols_; ++c) row[c] += ar * b[c];
   }
 }
 
-std::string Matrix::shape_string() const {
+template <class Scalar>
+std::string MatrixT<Scalar>::shape_string() const {
   std::ostringstream os;
   os << rows_ << "x" << cols_;
   return os.str();
 }
 
-Matrix Matrix::from_row(const Vec& x) {
-  Matrix m(1, x.size());
+template <class Scalar>
+MatrixT<Scalar> MatrixT<Scalar>::from_row(const VecT<Scalar>& x) {
+  MatrixT m(1, x.size());
   for (std::size_t c = 0; c < x.size(); ++c) m.data_[c] = x[c];
   return m;
 }
 
-Matrix Matrix::from_rows(const std::vector<Vec>& rows) {
-  if (rows.empty()) return Matrix();
-  Matrix m(rows.size(), rows.front().size());
+template <class Scalar>
+MatrixT<Scalar> MatrixT<Scalar>::from_rows(const std::vector<VecT<Scalar>>& rows) {
+  if (rows.empty()) return MatrixT();
+  MatrixT m(rows.size(), rows.front().size());
   for (std::size_t r = 0; r < rows.size(); ++r) {
     if (rows[r].size() != m.cols_) {
       throw std::invalid_argument("Matrix::from_rows: ragged row lengths");
@@ -123,42 +143,87 @@ Matrix Matrix::from_rows(const std::vector<Vec>& rows) {
   return m;
 }
 
-Vec Matrix::row(std::size_t r) const {
+template <class Scalar>
+VecT<Scalar> MatrixT<Scalar>::row(std::size_t r) const {
   assert(r < rows_);
-  const double* src = data_.get() + r * cols_;
-  return Vec(src, src + cols_);
+  const Scalar* src = data_.get() + r * cols_;
+  return VecT<Scalar>(src, src + cols_);
 }
 
-void Matrix::set_row(std::size_t r, const Vec& x) {
+template <class Scalar>
+void MatrixT<Scalar>::set_row(std::size_t r, const VecT<Scalar>& x) {
   assert(r < rows_ && x.size() == cols_);
-  double* dst = data_.get() + r * cols_;
+  Scalar* dst = data_.get() + r * cols_;
   for (std::size_t c = 0; c < cols_; ++c) dst[c] = x[c];
 }
 
-void Matrix::add_row_broadcast(const Vec& b) {
+template <class Scalar>
+void MatrixT<Scalar>::add_row_broadcast(const VecT<Scalar>& b) {
   assert(b.size() == cols_);
   for (std::size_t r = 0; r < rows_; ++r) {
-    double* dst = data_.get() + r * cols_;
+    Scalar* dst = data_.get() + r * cols_;
     for (std::size_t c = 0; c < cols_; ++c) dst[c] += b[c];
   }
 }
 
-void Matrix::add_col_sums_into(Vec& out) const {
+template <class Scalar>
+void MatrixT<Scalar>::add_col_sums_into(VecT<Scalar>& out) const {
   assert(out.size() == cols_);
   for (std::size_t r = 0; r < rows_; ++r) {
-    const double* src = data_.get() + r * cols_;
+    const Scalar* src = data_.get() + r * cols_;
     for (std::size_t c = 0; c < cols_; ++c) out[c] += src[c];
   }
 }
 
+template class MatrixT<float>;
+template class MatrixT<double>;
+
 namespace {
 
-// Register-tile shape of the shared micro-kernel. 4x4 doubles fit the
-// baseline 16-register SSE2 file without spilling the accumulator tile.
-constexpr std::size_t kTileM = 4;
-constexpr std::size_t kTileN = 4;
+// The hot full tile uses GNU vector extensions (16-byte lanes) on gcc/clang:
+// explicit lane-wise multiply-adds keep the accumulator tile in vector
+// registers and sidestep the autovectorizer's shuffle-heavy k-direction
+// gather (measured ~2.4x on the f32 kernel). Elsewhere (and on every edge
+// tile) the plain scalar loops run — identical arithmetic, identical
+// rounding, since lane ops are IEEE scalar ops.
+#if defined(__GNUC__) || defined(__clang__)
+#define HCRL_GEMM_VECTOR_EXT 1
+#else
+#define HCRL_GEMM_VECTOR_EXT 0
+#endif
 
-void prepare_output(Matrix& C, std::size_t rows, std::size_t cols, bool accumulate,
+// Register-tile shape of the shared micro-kernel: 4 rows x four 16-byte
+// vectors of accumulator per row. A float lane is half as wide as a double
+// lane, so the f32 tile doubles its N extent (4x16 vs 4x8) while filling
+// the same vector registers — the "wider micro-tile" of the f32 mode.
+template <class S>
+struct Tile {
+  static constexpr std::size_t kM = 4;
+  static constexpr std::size_t kN = 8;
+};
+template <>
+struct Tile<float> {
+  static constexpr std::size_t kM = 4;
+  static constexpr std::size_t kN = 16;
+};
+
+// L2 panel blocks for large shapes: a (kK x kN) panel of bkn stays
+// cache-resident (~0.4 MB at either precision — float halves the element
+// size, so the f32 panels double their extent) while every row of A streams
+// past it.
+template <class S>
+struct Panel {
+  static constexpr std::size_t kK = 192;
+  static constexpr std::size_t kN = 256;
+};
+template <>
+struct Panel<float> {
+  static constexpr std::size_t kK = 256;
+  static constexpr std::size_t kN = 512;
+};
+
+template <class S>
+void prepare_output(MatrixT<S>& C, std::size_t rows, std::size_t cols, bool accumulate,
                     const char* who) {
   if (accumulate) {
     if (C.rows() != rows || C.cols() != cols) {
@@ -175,19 +240,24 @@ void prepare_output(Matrix& C, std::size_t rows, std::size_t cols, bool accumula
 // Reusable packing buffer for the transposed operand of gemm_tn/gemm_nt.
 // thread_local so concurrent experiment sweeps don't share it; reusing the
 // allocation matters because a fresh buffer per call means an mmap + page
-// faults + a redundant zero-fill on every GEMM.
-thread_local std::vector<double> pack_scratch;
+// faults + a redundant zero-fill on every GEMM. One buffer per Scalar type.
+template <class S>
+std::vector<S>& pack_scratch() {
+  thread_local std::vector<S> scratch;
+  return scratch;
+}
 
 // dst (rows x cols) = src (cols x rows) transposed, in 8x8 blocks so reads
 // and writes both stay within a handful of cache lines per block.
-void pack_transpose(const double* src, double* dst, std::size_t rows, std::size_t cols) {
+template <class S>
+void pack_transpose(const S* src, S* dst, std::size_t rows, std::size_t cols) {
   constexpr std::size_t kB = 8;
   for (std::size_t r0 = 0; r0 < rows; r0 += kB) {
     const std::size_t r1 = std::min(r0 + kB, rows);
     for (std::size_t c0 = 0; c0 < cols; c0 += kB) {
       const std::size_t c1 = std::min(c0 + kB, cols);
       for (std::size_t c = c0; c < c1; ++c) {
-        const double* srow = src + c * rows;
+        const S* srow = src + c * rows;
         for (std::size_t r = r0; r < r1; ++r) dst[r * cols + c] = srow[r];
       }
     }
@@ -195,48 +265,98 @@ void pack_transpose(const double* src, double* dst, std::size_t rows, std::size_
 }
 
 // Shared blocked micro-kernel: c (m x n) = or += a (m x kk) * bkn (kk x n),
-// all row-major. Main tiles keep a kTileM x kTileN accumulator block in
-// registers across the whole k loop (the jj loop vectorizes; c sees one
-// store per element instead of one per multiply-accumulate); edge elements
-// fall back to strided dot products. Every output element — tile or edge,
-// any m — accumulates its kk products in increasing k order inside a
+// all row-major. Main tiles keep a Tile<S>::kM x Tile<S>::kN accumulator
+// block in registers across the whole k loop (the jj loop vectorizes; c sees
+// one store per element instead of one per multiply-accumulate); edge
+// elements fall back to strided dot products. Every output element — tile or
+// edge, any m — accumulates its kk products in increasing k order inside a
 // register and lands on memory with a single store or add, so batch-1
 // wrappers and batched calls produce identical sums.
-template <bool kOverwrite>
-void tile_mul_add(const double* a, std::size_t lda, const double* bkn, std::size_t ldb, double* c,
+template <bool kOverwrite, class S>
+void tile_mul_add(const S* a, std::size_t lda, const S* bkn, std::size_t ldb, S* c,
                   std::size_t ldc, std::size_t m, std::size_t kk, std::size_t n) {
+  constexpr std::size_t kTileM = Tile<S>::kM;
+  constexpr std::size_t kTileN = Tile<S>::kN;
   for (std::size_t i0 = 0; i0 < m; i0 += kTileM) {
     const std::size_t mr = std::min(kTileM, m - i0);
     for (std::size_t j0 = 0; j0 < n; j0 += kTileN) {
       const std::size_t nr = std::min(kTileN, n - j0);
-      double acc[kTileM][kTileN] = {};
       if (mr == kTileM && nr == kTileN) {
-        // Hot full tile: fixed trip counts unroll and keep acc in registers.
+#if HCRL_GEMM_VECTOR_EXT
+        // Hot full tile, explicit 16-byte vectors: each accumulator lane
+        // runs its element's products in increasing k order with one
+        // mul + one add per k — bit-identical to the scalar loops below.
+        typedef S V __attribute__((vector_size(16)));
+        constexpr std::size_t kLanes = 16 / sizeof(S);
+        constexpr std::size_t kNV = kTileN / kLanes;
+        V acc[kTileM][kNV] = {};
         for (std::size_t k = 0; k < kk; ++k) {
-          const double* brow = bkn + k * ldb + j0;
+          const S* brow = bkn + k * ldb + j0;
+          V bv[kNV];
+          for (std::size_t v = 0; v < kNV; ++v) {
+            __builtin_memcpy(&bv[v], brow + v * kLanes, sizeof(V));
+          }
           for (std::size_t ii = 0; ii < kTileM; ++ii) {
-            const double aik = a[(i0 + ii) * lda + k];
+            const S aik = a[(i0 + ii) * lda + k];
+            V av = {};
+            for (std::size_t l = 0; l < kLanes; ++l) av[l] = aik;
+            for (std::size_t v = 0; v < kNV; ++v) acc[ii][v] += av * bv[v];
+          }
+        }
+        for (std::size_t ii = 0; ii < kTileM; ++ii) {
+          S* crow = c + (i0 + ii) * ldc + j0;
+          for (std::size_t v = 0; v < kNV; ++v) {
+            if constexpr (kOverwrite) {
+              __builtin_memcpy(crow + v * kLanes, &acc[ii][v], sizeof(V));
+            } else {
+              V cv;
+              __builtin_memcpy(&cv, crow + v * kLanes, sizeof(V));
+              cv += acc[ii][v];
+              __builtin_memcpy(crow + v * kLanes, &cv, sizeof(V));
+            }
+          }
+        }
+#else
+        // Hot full tile, portable scalar form: fixed trip counts unroll and
+        // keep acc in registers.
+        S acc[kTileM][kTileN] = {};
+        for (std::size_t k = 0; k < kk; ++k) {
+          const S* brow = bkn + k * ldb + j0;
+          for (std::size_t ii = 0; ii < kTileM; ++ii) {
+            const S aik = a[(i0 + ii) * lda + k];
             for (std::size_t jj = 0; jj < kTileN; ++jj) acc[ii][jj] += aik * brow[jj];
           }
         }
+        for (std::size_t ii = 0; ii < kTileM; ++ii) {
+          S* crow = c + (i0 + ii) * ldc + j0;
+          for (std::size_t jj = 0; jj < kTileN; ++jj) {
+            if constexpr (kOverwrite) {
+              crow[jj] = acc[ii][jj];
+            } else {
+              crow[jj] += acc[ii][jj];
+            }
+          }
+        }
+#endif
       } else {
         // Edge tile: same structure with runtime trip counts — loads stay
         // contiguous and accumulation order is identical.
+        S acc[kTileM][kTileN] = {};
         for (std::size_t k = 0; k < kk; ++k) {
-          const double* brow = bkn + k * ldb + j0;
+          const S* brow = bkn + k * ldb + j0;
           for (std::size_t ii = 0; ii < mr; ++ii) {
-            const double aik = a[(i0 + ii) * lda + k];
+            const S aik = a[(i0 + ii) * lda + k];
             for (std::size_t jj = 0; jj < nr; ++jj) acc[ii][jj] += aik * brow[jj];
           }
         }
-      }
-      for (std::size_t ii = 0; ii < mr; ++ii) {
-        double* crow = c + (i0 + ii) * ldc + j0;
-        for (std::size_t jj = 0; jj < nr; ++jj) {
-          if constexpr (kOverwrite) {
-            crow[jj] = acc[ii][jj];
-          } else {
-            crow[jj] += acc[ii][jj];
+        for (std::size_t ii = 0; ii < mr; ++ii) {
+          S* crow = c + (i0 + ii) * ldc + j0;
+          for (std::size_t jj = 0; jj < nr; ++jj) {
+            if constexpr (kOverwrite) {
+              crow[jj] = acc[ii][jj];
+            } else {
+              crow[jj] += acc[ii][jj];
+            }
           }
         }
       }
@@ -244,20 +364,18 @@ void tile_mul_add(const double* a, std::size_t lda, const double* bkn, std::size
   }
 }
 
-// L2 panel blocks for large shapes: a (kKBlock x kNBlock) panel of bkn is
-// ~0.4 MB, so it stays cache-resident while every row of A streams past it.
-constexpr std::size_t kKBlock = 192;
-constexpr std::size_t kNBlock = 256;
-
-// Driver: c (m x n) = or += a (m x kk) * bkn (kk x n), all row-major and
-// densely packed. Shapes that fit one panel (every NN layer in this project)
-// take the single tile_mul_add call, preserving the exact per-element
-// accumulation order the parity tests pin down; larger shapes are split into
-// panels, which regroups each element's k-chain into per-panel partial sums
-// (same k order, different rounding breaks — well inside the 1e-12 parity
-// budget).
-void tile_mul(const double* a, const double* bkn, double* c, std::size_t m, std::size_t kk,
-              std::size_t n, bool accumulate) {
+// Serial driver: c (m x n) = or += a (m x kk) * bkn (kk x n), all row-major
+// and densely packed. Shapes that fit one panel (every NN layer in this
+// project) take the single tile_mul_add call, preserving the exact
+// per-element accumulation order the parity tests pin down; larger shapes
+// are split into panels, which regroups each element's k-chain into
+// per-panel partial sums (same k order, different rounding breaks — well
+// inside the parity budget).
+template <class S>
+void tile_mul_serial(const S* a, const S* bkn, S* c, std::size_t m, std::size_t kk, std::size_t n,
+                     bool accumulate) {
+  constexpr std::size_t kKBlock = Panel<S>::kK;
+  constexpr std::size_t kNBlock = Panel<S>::kN;
   if (kk <= kKBlock && n <= kNBlock) {
     if (accumulate) {
       tile_mul_add<false>(a, kk, bkn, n, c, n, m, kk, n);
@@ -280,9 +398,144 @@ void tile_mul(const double* a, const double* bkn, double* c, std::size_t m, std:
   }
 }
 
+// --- GEMM worker pool -----------------------------------------------------
+
+constexpr std::size_t kMaxGemmThreads = 64;
+
+std::size_t gemm_threads_from_env() {
+  const char* env = std::getenv("HCRL_GEMM_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 1) return 1;
+  return std::min<std::size_t>(static_cast<std::size_t>(v), kMaxGemmThreads);
+}
+
+std::atomic<std::size_t>& gemm_thread_setting() {
+  static std::atomic<std::size_t> setting{gemm_threads_from_env()};
+  return setting;
+}
+
+/// Persistent workers for the threaded GEMM path. One job at a time (callers
+/// serialize on run_mutex_, so concurrent scenario threads never interleave
+/// chunks); workers are spawned lazily up to the largest count ever
+/// requested and parked on a condition variable between jobs.
+class GemmPool {
+ public:
+  static GemmPool& instance() {
+    static GemmPool pool;
+    return pool;
+  }
+
+  /// Invoke fn(0) .. fn(nchunks - 1), chunk 0 on the calling thread and the
+  /// rest on pool workers; returns after all chunks completed.
+  void run(std::size_t nchunks, const std::function<void(std::size_t)>& fn) {
+    if (nchunks <= 1) {
+      if (nchunks == 1) fn(0);
+      return;
+    }
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    ensure_workers(nchunks - 1);
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      job_ = &fn;
+      claim_ = nchunks - 1;      // workers take chunk indexes nchunks-1 .. 1
+      remaining_ = nchunks - 1;
+    }
+    cv_.notify_all();
+    fn(0);
+    std::unique_lock<std::mutex> lk(m_);
+    done_cv_.wait(lk, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  GemmPool() = default;
+
+  ~GemmPool() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void ensure_workers(std::size_t count) {
+    while (workers_.size() < count) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+      cv_.wait(lk, [&] { return stop_ || claim_ > 0; });
+      if (stop_) return;
+      while (claim_ > 0) {
+        const std::size_t idx = claim_--;
+        const auto* job = job_;
+        lk.unlock();
+        (*job)(idx);
+        lk.lock();
+        if (--remaining_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  std::mutex run_mutex_;  // one threaded GEMM at a time
+  std::mutex m_;
+  std::condition_variable cv_, done_cv_;
+  std::vector<std::thread> workers_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t claim_ = 0;      // unclaimed chunk indexes (counts down to 1)
+  std::size_t remaining_ = 0;  // chunks not yet finished by workers
+  bool stop_ = false;
+};
+
+// Minimum multiply-accumulates per worker before fan-out pays for the
+// wake/join handshake (~ a few microseconds of kernel work per thread).
+constexpr std::size_t kMinMacsPerThread = 32 * 1024;
+
+// Threading driver: row-block the M dimension into one contiguous chunk per
+// worker (aligned to the micro-tile). Each chunk runs the unmodified serial
+// kernel over its row range and every output row keeps its full k reduction
+// on one thread, so the result is bit-identical to the serial path.
+template <class S>
+void tile_mul(const S* a, const S* bkn, S* c, std::size_t m, std::size_t kk, std::size_t n,
+              bool accumulate) {
+  const std::size_t threads = gemm_threads();
+  if (threads > 1 && m >= 2 * Tile<S>::kM && m * kk * n >= kMinMacsPerThread * 2) {
+    const std::size_t want =
+        std::min(threads, std::max<std::size_t>(1, (m * kk * n) / kMinMacsPerThread));
+    const std::size_t rows_per =
+        ((m + want - 1) / want + Tile<S>::kM - 1) / Tile<S>::kM * Tile<S>::kM;
+    const std::size_t nchunks = (m + rows_per - 1) / rows_per;
+    if (nchunks > 1) {
+      GemmPool::instance().run(nchunks, [&](std::size_t chunk) {
+        const std::size_t i0 = chunk * rows_per;
+        const std::size_t i1 = std::min(i0 + rows_per, m);
+        tile_mul_serial(a + i0 * kk, bkn, c + i0 * n, i1 - i0, kk, n, accumulate);
+      });
+      return;
+    }
+  }
+  tile_mul_serial(a, bkn, c, m, kk, n, accumulate);
+}
+
 }  // namespace
 
-void gemm(const Matrix& A, const Matrix& B, Matrix& C, bool accumulate) {
+void set_gemm_threads(std::size_t n) noexcept {
+  gemm_thread_setting().store(std::clamp<std::size_t>(n, 1, kMaxGemmThreads),
+                              std::memory_order_relaxed);
+}
+
+std::size_t gemm_threads() noexcept {
+  return gemm_thread_setting().load(std::memory_order_relaxed);
+}
+
+template <class S>
+void gemm(const MatrixT<S>& A, const MatrixT<S>& B, MatrixT<S>& C, bool accumulate) {
   if (A.cols() != B.rows()) {
     throw std::invalid_argument("gemm: shape mismatch " + A.shape_string() + " * " +
                                 B.shape_string());
@@ -292,21 +545,21 @@ void gemm(const Matrix& A, const Matrix& B, Matrix& C, bool accumulate) {
   // Small-batch path: accumulate rows of B directly into the output row —
   // contiguous walks; k = 0 seeds the row, so the incremental adds round
   // exactly like the micro-kernel's register sums (0 + p0 is exact).
-  if (m < kTileM && !accumulate) {
-    const double* a = A.data();
-    const double* b = B.data();
-    double* c = C.data();
+  if (m < Tile<S>::kM && !accumulate) {
+    const S* a = A.data();
+    const S* b = B.data();
+    S* c = C.data();
     for (std::size_t i = 0; i < m; ++i) {
-      const double* arow = a + i * kk;
-      double* crow = c + i * n;
+      const S* arow = a + i * kk;
+      S* crow = c + i * n;
       if (kk == 0) {
-        for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0;
+        for (std::size_t j = 0; j < n; ++j) crow[j] = S(0);
         continue;
       }
       for (std::size_t j = 0; j < n; ++j) crow[j] = arow[0] * b[j];
       for (std::size_t k = 1; k < kk; ++k) {
-        const double aik = arow[k];
-        const double* brow = b + k * n;
+        const S aik = arow[k];
+        const S* brow = b + k * n;
         for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
       }
     }
@@ -316,7 +569,8 @@ void gemm(const Matrix& A, const Matrix& B, Matrix& C, bool accumulate) {
   tile_mul(A.data(), B.data(), C.data(), m, kk, n, accumulate);
 }
 
-void gemm_tn(const Matrix& A, const Matrix& B, Matrix& C, bool accumulate) {
+template <class S>
+void gemm_tn(const MatrixT<S>& A, const MatrixT<S>& B, MatrixT<S>& C, bool accumulate) {
   if (A.rows() != B.rows()) {
     throw std::invalid_argument("gemm_tn: shape mismatch " + A.shape_string() + "^T * " +
                                 B.shape_string());
@@ -324,41 +578,44 @@ void gemm_tn(const Matrix& A, const Matrix& B, Matrix& C, bool accumulate) {
   const std::size_t kk = A.rows(), m = A.cols(), n = B.cols();
   prepare_output(C, m, n, accumulate, "gemm_tn");
   // Pack A^T (m x kk) once — O(m*kk), amortized over the m*kk*n kernel work.
-  pack_scratch.resize(m * kk);
-  double* at = pack_scratch.data();
+  auto& scratch = pack_scratch<S>();
+  scratch.resize(m * kk);
+  S* at = scratch.data();
   pack_transpose(A.data(), at, m, kk);
   tile_mul(at, B.data(), C.data(), m, kk, n, accumulate);
 }
 
-void gemm_nt(const Matrix& A, const Matrix& B, Matrix& C, bool accumulate) {
+template <class S>
+void gemm_nt(const MatrixT<S>& A, const MatrixT<S>& B, MatrixT<S>& C, bool accumulate) {
   if (A.cols() != B.cols()) {
     throw std::invalid_argument("gemm_nt: shape mismatch " + A.shape_string() + " * " +
                                 B.shape_string() + "^T");
   }
   const std::size_t m = A.rows(), kk = A.cols(), n = B.rows();
   prepare_output(C, m, n, accumulate, "gemm_nt");
-  const double* a = A.data();
-  const double* b = B.data();
-  double* c = C.data();
+  const S* a = A.data();
+  const S* b = B.data();
+  S* c = C.data();
   // Batched path: pack B^T (kk x n) once — amortized across the m batch
   // rows — then run the register-tiled micro-kernel.
-  if (m >= kTileM) {
-    pack_scratch.resize(kk * n);
-    double* bt = pack_scratch.data();
+  if (m >= Tile<S>::kM) {
+    auto& scratch = pack_scratch<S>();
+    scratch.resize(kk * n);
+    S* bt = scratch.data();
     pack_transpose(b, bt, kk, n);
     tile_mul(a, bt, c, m, kk, n, accumulate);
     return;
   }
   // Small-batch path: both operands walked along contiguous rows; skipping
-  // the pack is cheaper below kTileM rows. Same k-ordered register dot and
-  // single store/add per element as the micro-kernel, so results are
+  // the pack is cheaper below the tile height. Same k-ordered register dot
+  // and single store/add per element as the micro-kernel, so results are
   // identical.
   for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = a + i * kk;
-    double* crow = c + i * n;
+    const S* arow = a + i * kk;
+    S* crow = c + i * n;
     for (std::size_t j = 0; j < n; ++j) {
-      const double* brow = b + j * kk;
-      double acc = 0.0;
+      const S* brow = b + j * kk;
+      S acc = S(0);
       for (std::size_t k = 0; k < kk; ++k) acc += arow[k] * brow[k];
       if (accumulate) {
         crow[j] += acc;
@@ -369,51 +626,61 @@ void gemm_nt(const Matrix& A, const Matrix& B, Matrix& C, bool accumulate) {
   }
 }
 
-void add_in_place(Matrix& X, const Matrix& Y) {
+template <class S>
+void add_in_place(MatrixT<S>& X, const MatrixT<S>& Y) {
   if (!X.same_shape(Y)) {
     throw std::invalid_argument("Matrix add_in_place: " + X.shape_string() + " vs " +
                                 Y.shape_string());
   }
-  double* x = X.data();
-  const double* y = Y.data();
+  S* x = X.data();
+  const S* y = Y.data();
   for (std::size_t i = 0; i < X.size(); ++i) x[i] += y[i];
 }
 
-Vec add(const Vec& x, const Vec& y) {
+template <class S>
+VecT<S> add(const VecT<S>& x, const VecT<S>& y) {
   assert(x.size() == y.size());
-  Vec z(x.size());
+  VecT<S> z(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] + y[i];
   return z;
 }
 
-void add_in_place(Vec& x, const Vec& y) {
+template <class S>
+void add_in_place(VecT<S>& x, const VecT<S>& y) {
   assert(x.size() == y.size());
   for (std::size_t i = 0; i < x.size(); ++i) x[i] += y[i];
 }
 
-void scale_in_place(Vec& x, double s) {
+template <class S>
+void scale_in_place(VecT<S>& x, S s) {
   for (auto& v : x) v *= s;
 }
 
-double dot(const Vec& x, const Vec& y) {
+template <class S>
+S dot(const VecT<S>& x, const VecT<S>& y) {
   assert(x.size() == y.size());
-  double acc = 0.0;
+  S acc = S(0);
   for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
   return acc;
 }
 
-double norm(const Vec& x) { return std::sqrt(dot(x, x)); }
+template <class S>
+S norm(const VecT<S>& x) {
+  return std::sqrt(dot(x, x));
+}
 
-Vec concat(const std::vector<const Vec*>& parts) {
+template <class S>
+VecT<S> concat(const std::vector<const VecT<S>*>& parts) {
   std::size_t total = 0;
-  for (const Vec* p : parts) total += p->size();
-  Vec out;
+  for (const VecT<S>* p : parts) total += p->size();
+  VecT<S> out;
   out.reserve(total);
-  for (const Vec* p : parts) out.insert(out.end(), p->begin(), p->end());
+  for (const VecT<S>* p : parts) out.insert(out.end(), p->begin(), p->end());
   return out;
 }
 
-std::size_t argmax(const Vec& x) {
+template <class S>
+std::size_t argmax(const VecT<S>& x) {
   if (x.empty()) throw std::invalid_argument("argmax: empty vector");
   std::size_t best = 0;
   for (std::size_t i = 1; i < x.size(); ++i) {
@@ -421,5 +688,24 @@ std::size_t argmax(const Vec& x) {
   }
   return best;
 }
+
+// Explicit instantiations: the library ships exactly the float and double
+// kernels (matrix.hpp declares the templates without definitions).
+#define HCRL_NN_INSTANTIATE_MATRIX(S)                                                  \
+  template void gemm<S>(const MatrixT<S>&, const MatrixT<S>&, MatrixT<S>&, bool);      \
+  template void gemm_tn<S>(const MatrixT<S>&, const MatrixT<S>&, MatrixT<S>&, bool);   \
+  template void gemm_nt<S>(const MatrixT<S>&, const MatrixT<S>&, MatrixT<S>&, bool);   \
+  template void add_in_place<S>(MatrixT<S>&, const MatrixT<S>&);                       \
+  template VecT<S> add<S>(const VecT<S>&, const VecT<S>&);                             \
+  template void add_in_place<S>(VecT<S>&, const VecT<S>&);                             \
+  template void scale_in_place<S>(VecT<S>&, S);                                        \
+  template S dot<S>(const VecT<S>&, const VecT<S>&);                                   \
+  template S norm<S>(const VecT<S>&);                                                  \
+  template VecT<S> concat<S>(const std::vector<const VecT<S>*>&);                      \
+  template std::size_t argmax<S>(const VecT<S>&);
+
+HCRL_NN_INSTANTIATE_MATRIX(float)
+HCRL_NN_INSTANTIATE_MATRIX(double)
+#undef HCRL_NN_INSTANTIATE_MATRIX
 
 }  // namespace hcrl::nn

@@ -7,7 +7,8 @@
 
 namespace hcrl::nn {
 
-Network& Network::add(LayerPtr layer) {
+template <class S>
+NetworkT<S>& NetworkT<S>::add(LayerPtrT<S> layer) {
   if (!layer) throw std::invalid_argument("Network::add: null layer");
   if (!layers_.empty() && layers_.back()->out_dim() != layer->in_dim()) {
     throw std::invalid_argument("Network::add: dimension mismatch");
@@ -16,39 +17,45 @@ Network& Network::add(LayerPtr layer) {
   return *this;
 }
 
-Network& Network::add_dense(std::size_t in_dim, std::size_t out_dim, Activation act,
-                            common::Rng& rng) {
-  auto params = std::make_shared<DenseParams>(out_dim, in_dim);
+template <class S>
+NetworkT<S>& NetworkT<S>::add_dense(std::size_t in_dim, std::size_t out_dim, Activation act,
+                                    common::Rng& rng) {
+  auto params = std::make_shared<DenseParamsT<S>>(out_dim, in_dim);
   init_dense(*params, rng);
   return add_shared_dense(std::move(params), act);
 }
 
-Network& Network::add_shared_dense(DenseParamsPtr params, Activation act) {
+template <class S>
+NetworkT<S>& NetworkT<S>::add_shared_dense(DenseParamsPtrT<S> params, Activation act) {
   const std::size_t out = params->out_dim();
-  add(std::make_unique<Dense>(std::move(params)));
+  add(std::make_unique<DenseT<S>>(std::move(params)));
   if (act != Activation::kIdentity) {
-    add(std::make_unique<ActivationLayer>(act, out));
+    add(std::make_unique<ActivationLayerT<S>>(act, out));
   }
   return *this;
 }
 
-std::size_t Network::in_dim() const {
+template <class S>
+std::size_t NetworkT<S>::in_dim() const {
   if (layers_.empty()) throw std::logic_error("Network: empty");
   return layers_.front()->in_dim();
 }
 
-std::size_t Network::out_dim() const {
+template <class S>
+std::size_t NetworkT<S>::out_dim() const {
   if (layers_.empty()) throw std::logic_error("Network: empty");
   return layers_.back()->out_dim();
 }
 
-Matrix Network::forward_batch(Matrix X) {
+template <class S>
+MatrixT<S> NetworkT<S>::forward_batch(MatrixT<S> X) {
   for (auto& layer : layers_) X = layer->forward_batch(std::move(X));
   return X;
 }
 
-Matrix Network::backward_batch(const Matrix& dY, bool want_input_grad) {
-  Matrix G = dY;
+template <class S>
+MatrixT<S> NetworkT<S>::backward_batch(const MatrixT<S>& dY, bool want_input_grad) {
+  MatrixT<S> G = dY;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     const bool innermost = std::next(it) == layers_.rend();
     G = (*it)->backward_batch(G, want_input_grad || !innermost);
@@ -56,40 +63,55 @@ Matrix Network::backward_batch(const Matrix& dY, bool want_input_grad) {
   return G;
 }
 
-Matrix Network::predict_batch(Matrix X) {
+template <class S>
+MatrixT<S> NetworkT<S>::predict_batch(MatrixT<S> X) {
   // Inference: no caches are pushed at all, so predicting is safe even in
   // the middle of an un-backpropagated training pass.
   for (auto& layer : layers_) X = layer->forward_batch(std::move(X), /*keep_cache=*/false);
   return X;
 }
 
-Vec Network::forward(const Vec& x) { return forward_batch(Matrix::from_row(x)).row(0); }
-
-Vec Network::backward(const Vec& dy, bool want_input_grad) {
-  Matrix dX = backward_batch(Matrix::from_row(dy), want_input_grad);
-  return want_input_grad ? dX.row(0) : Vec();
+template <class S>
+VecT<S> NetworkT<S>::forward(const VecT<S>& x) {
+  return forward_batch(MatrixT<S>::from_row(x)).row(0);
 }
 
-Vec Network::predict(const Vec& x) { return predict_batch(Matrix::from_row(x)).row(0); }
+template <class S>
+VecT<S> NetworkT<S>::backward(const VecT<S>& dy, bool want_input_grad) {
+  MatrixT<S> dX = backward_batch(MatrixT<S>::from_row(dy), want_input_grad);
+  return want_input_grad ? dX.row(0) : VecT<S>();
+}
 
-void Network::clear_cache() {
+template <class S>
+VecT<S> NetworkT<S>::predict(const VecT<S>& x) {
+  return predict_batch(MatrixT<S>::from_row(x)).row(0);
+}
+
+template <class S>
+void NetworkT<S>::clear_cache() {
   for (auto& layer : layers_) layer->clear_cache();
 }
 
-void Network::zero_grad() {
+template <class S>
+void NetworkT<S>::zero_grad() {
   for (const auto& p : params()) p->zero_grad();
 }
 
-std::vector<ParamBlockPtr> Network::params() const {
-  std::vector<ParamBlockPtr> out;
+template <class S>
+std::vector<ParamBlockPtrT<S>> NetworkT<S>::params() const {
+  std::vector<ParamBlockPtrT<S>> out;
   for (const auto& layer : layers_) layer->collect_params(out);
   return out;
 }
 
-std::size_t Network::param_count() const {
+template <class S>
+std::size_t NetworkT<S>::param_count() const {
   std::size_t n = 0;
   for (const auto& p : params()) n += p->param_count();
   return n;
 }
+
+template class NetworkT<float>;
+template class NetworkT<double>;
 
 }  // namespace hcrl::nn

@@ -1,4 +1,7 @@
 // Sequential feed-forward network built from layers.
+//
+// Templated on the Scalar type (float/double instantiations in network.cpp);
+// `Network` aliases the double instantiation.
 #pragma once
 
 #include <initializer_list>
@@ -10,16 +13,17 @@
 
 namespace hcrl::nn {
 
-class Network {
+template <class S>
+class NetworkT {
  public:
-  Network() = default;
+  NetworkT() = default;
 
   /// Append a layer; dimensions must chain (checked).
-  Network& add(LayerPtr layer);
+  NetworkT& add(LayerPtrT<S> layer);
   /// Convenience: append a freshly-initialized dense layer + activation.
-  Network& add_dense(std::size_t in_dim, std::size_t out_dim, Activation act, common::Rng& rng);
+  NetworkT& add_dense(std::size_t in_dim, std::size_t out_dim, Activation act, common::Rng& rng);
   /// Append a dense layer over an existing (shared) parameter block.
-  Network& add_shared_dense(DenseParamsPtr params, Activation act);
+  NetworkT& add_shared_dense(DenseParamsPtrT<S> params, Activation act);
 
   std::size_t in_dim() const;
   std::size_t out_dim() const;
@@ -27,28 +31,33 @@ class Network {
 
   // Batched path: a (batch x dim) activation matrix flows through the GEMM
   // kernels; one call handles a whole minibatch.
-  Matrix forward_batch(Matrix X);
+  MatrixT<S> forward_batch(MatrixT<S> X);
   /// Backward through the whole stack; returns dL/dX (batch x in_dim).
   /// Trainers that discard dL/dX pass want_input_grad = false to skip the
   /// first layer's input-gradient GEMM (the result is then empty).
-  Matrix backward_batch(const Matrix& dY, bool want_input_grad = true);
+  MatrixT<S> backward_batch(const MatrixT<S>& dY, bool want_input_grad = true);
   /// Batched forward without keeping caches (inference only).
-  Matrix predict_batch(Matrix X);
+  MatrixT<S> predict_batch(MatrixT<S> X);
 
   // Per-sample wrappers over batch = 1 (same kernels, same results).
-  Vec forward(const Vec& x);
+  VecT<S> forward(const VecT<S>& x);
   /// Backward through the whole stack; returns dL/dx (see backward_batch).
-  Vec backward(const Vec& dy, bool want_input_grad = true);
+  VecT<S> backward(const VecT<S>& dy, bool want_input_grad = true);
   /// Forward without keeping caches (inference only).
-  Vec predict(const Vec& x);
+  VecT<S> predict(const VecT<S>& x);
 
   void clear_cache();
   void zero_grad();
-  std::vector<ParamBlockPtr> params() const;
+  std::vector<ParamBlockPtrT<S>> params() const;
   std::size_t param_count() const;
 
  private:
-  std::vector<LayerPtr> layers_;
+  std::vector<LayerPtrT<S>> layers_;
 };
+
+using Network = NetworkT<double>;
+
+extern template class NetworkT<float>;
+extern template class NetworkT<double>;
 
 }  // namespace hcrl::nn

@@ -5,16 +5,19 @@
 
 namespace hcrl::nn {
 
-double clip_grad_norm(const std::vector<ParamBlockPtr>& params, double max_norm) {
+template <class S>
+double clip_grad_norm(const std::vector<ParamBlockPtrT<S>>& params, double max_norm) {
   if (max_norm <= 0.0) throw std::invalid_argument("clip_grad_norm: max_norm must be > 0");
   auto segs = gather_segments(params);
   double sq = 0.0;
   for (const auto& s : segs) {
-    for (std::size_t i = 0; i < s.n; ++i) sq += s.grad[i] * s.grad[i];
+    for (std::size_t i = 0; i < s.n; ++i) {
+      sq += static_cast<double>(s.grad[i]) * static_cast<double>(s.grad[i]);
+    }
   }
   const double total = std::sqrt(sq);
   if (total > max_norm) {
-    const double scale = max_norm / total;
+    const S scale = static_cast<S>(max_norm / total);
     for (auto& s : segs) {
       for (std::size_t i = 0; i < s.n; ++i) s.grad[i] *= scale;
     }
@@ -22,73 +25,94 @@ double clip_grad_norm(const std::vector<ParamBlockPtr>& params, double max_norm)
   return total;
 }
 
-Sgd::Sgd(std::vector<ParamBlockPtr> params, double lr, double momentum)
+template <class S>
+SgdT<S>::SgdT(std::vector<ParamBlockPtrT<S>> params, double lr, double momentum)
     : params_(std::move(params)), lr_(lr), momentum_(momentum) {
   segments_ = gather_segments(params_);
   velocity_.reserve(segments_.size());
-  for (const auto& s : segments_) velocity_.emplace_back(s.n, 0.0);
+  for (const auto& s : segments_) velocity_.emplace_back(s.n, S(0));
 }
 
-void Sgd::step() {
+template <class S>
+void SgdT<S>::step() {
+  const S lr = static_cast<S>(lr_);
+  const S momentum = static_cast<S>(momentum_);
   for (std::size_t k = 0; k < segments_.size(); ++k) {
     auto& s = segments_[k];
     auto& vel = velocity_[k];
     for (std::size_t i = 0; i < s.n; ++i) {
-      vel[i] = momentum_ * vel[i] + s.grad[i];
-      s.value[i] -= lr_ * vel[i];
+      vel[i] = momentum * vel[i] + s.grad[i];
+      s.value[i] -= lr * vel[i];
     }
   }
 }
 
-void Sgd::zero_grad() {
+template <class S>
+void SgdT<S>::zero_grad() {
   for (const auto& p : params_) p->zero_grad();
 }
 
-Adam::Adam(std::vector<ParamBlockPtr> params) : Adam(std::move(params), Options{}) {}
+template <class S>
+AdamT<S>::AdamT(std::vector<ParamBlockPtrT<S>> params) : AdamT(std::move(params), Options{}) {}
 
-Adam::Adam(std::vector<ParamBlockPtr> params, Options opts)
+template <class S>
+AdamT<S>::AdamT(std::vector<ParamBlockPtrT<S>> params, Options opts)
     : params_(std::move(params)), opts_(opts) {
   if (opts_.lr <= 0.0) throw std::invalid_argument("Adam: lr must be > 0");
   segments_ = gather_segments(params_);
   m_.reserve(segments_.size());
   v_.reserve(segments_.size());
   for (const auto& s : segments_) {
-    m_.emplace_back(s.n, 0.0);
-    v_.emplace_back(s.n, 0.0);
+    m_.emplace_back(s.n, S(0));
+    v_.emplace_back(s.n, S(0));
   }
 }
 
-void Adam::step() {
+template <class S>
+void AdamT<S>::step() {
   ++t_;
   // Hoist the bias corrections into reciprocals: one divide and one sqrt per
   // element instead of three divides, and the loop body stays branch-free so
   // it can vectorize. This is the whole-network fixed cost of every SGD
-  // step, so it shows up directly in the train-step benchmarks.
-  const double inv_bc1 = 1.0 / (1.0 - std::pow(opts_.beta1, static_cast<double>(t_)));
-  const double inv_bc2 = 1.0 / (1.0 - std::pow(opts_.beta2, static_cast<double>(t_)));
-  const double one_minus_beta1 = 1.0 - opts_.beta1;
-  const double one_minus_beta2 = 1.0 - opts_.beta2;
-  const double lr_decay = opts_.lr * opts_.weight_decay;
+  // step, so it shows up directly in the train-step benchmarks. The hoisted
+  // constants are computed in double, then cast once to the element type.
+  const S inv_bc1 = static_cast<S>(1.0 / (1.0 - std::pow(opts_.beta1, static_cast<double>(t_))));
+  const S inv_bc2 = static_cast<S>(1.0 / (1.0 - std::pow(opts_.beta2, static_cast<double>(t_))));
+  const S beta1 = static_cast<S>(opts_.beta1);
+  const S beta2 = static_cast<S>(opts_.beta2);
+  const S one_minus_beta1 = S(1) - beta1;
+  const S one_minus_beta2 = S(1) - beta2;
+  const S lr = static_cast<S>(opts_.lr);
+  const S epsilon = static_cast<S>(opts_.epsilon);
+  const S lr_decay = static_cast<S>(opts_.lr * opts_.weight_decay);
   const bool decay = opts_.weight_decay > 0.0;
   for (std::size_t k = 0; k < segments_.size(); ++k) {
     auto& s = segments_[k];
-    double* m = m_[k].data();
-    double* v = v_[k].data();
+    S* m = m_[k].data();
+    S* v = v_[k].data();
     for (std::size_t i = 0; i < s.n; ++i) {
-      const double g = s.grad[i];
-      m[i] = opts_.beta1 * m[i] + one_minus_beta1 * g;
-      v[i] = opts_.beta2 * v[i] + one_minus_beta2 * g * g;
-      const double m_hat = m[i] * inv_bc1;
-      const double v_hat = v[i] * inv_bc2;
-      double update = opts_.lr * m_hat / (std::sqrt(v_hat) + opts_.epsilon);
+      const S g = s.grad[i];
+      m[i] = beta1 * m[i] + one_minus_beta1 * g;
+      v[i] = beta2 * v[i] + one_minus_beta2 * g * g;
+      const S m_hat = m[i] * inv_bc1;
+      const S v_hat = v[i] * inv_bc2;
+      S update = lr * m_hat / (std::sqrt(v_hat) + epsilon);
       if (decay) update += lr_decay * s.value[i];
       s.value[i] -= update;
     }
   }
 }
 
-void Adam::zero_grad() {
+template <class S>
+void AdamT<S>::zero_grad() {
   for (const auto& p : params_) p->zero_grad();
 }
+
+template double clip_grad_norm<float>(const std::vector<ParamBlockPtrT<float>>&, double);
+template double clip_grad_norm<double>(const std::vector<ParamBlockPtrT<double>>&, double);
+template class SgdT<float>;
+template class SgdT<double>;
+template class AdamT<float>;
+template class AdamT<double>;
 
 }  // namespace hcrl::nn

@@ -1,9 +1,14 @@
 // Optimizers over parameter blocks, plus global-norm gradient clipping.
 //
 // The paper trains the global-tier DNN and the LSTM predictor with Adam
-// (Kingma & Ba) and clips gradients to a global norm of 10.
+// (Kingma & Ba) and clips gradients to a global norm of 10. Templated on
+// the Scalar type of the parameters (float/double instantiations in
+// optimizer.cpp); hyper-parameters stay double and the per-element update
+// runs in Scalar. The global-norm accumulation always runs in double so the
+// f32 path cannot overflow/saturate the squared-norm sum.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -13,7 +18,8 @@ namespace hcrl::nn {
 
 /// Scale all gradients so their global L2 norm is at most max_norm.
 /// Returns the pre-clip norm.
-double clip_grad_norm(const std::vector<ParamBlockPtr>& params, double max_norm);
+template <class S>
+double clip_grad_norm(const std::vector<ParamBlockPtrT<S>>& params, double max_norm);
 
 class Optimizer {
  public:
@@ -24,9 +30,10 @@ class Optimizer {
   virtual void zero_grad() = 0;
 };
 
-class Sgd final : public Optimizer {
+template <class S>
+class SgdT final : public Optimizer {
  public:
-  Sgd(std::vector<ParamBlockPtr> params, double lr, double momentum = 0.0);
+  SgdT(std::vector<ParamBlockPtrT<S>> params, double lr, double momentum = 0.0);
 
   void step() override;
   void zero_grad() override;
@@ -34,27 +41,30 @@ class Sgd final : public Optimizer {
   double lr() const noexcept { return lr_; }
 
  private:
-  std::vector<ParamBlockPtr> params_;
+  std::vector<ParamBlockPtrT<S>> params_;
   double lr_;
   double momentum_;
-  std::vector<std::vector<double>> velocity_;  // one per segment
-  std::vector<ParamSegment> segments_;
+  std::vector<std::vector<S>> velocity_;  // one per segment
+  std::vector<ParamSegmentT<S>> segments_;
 };
 
 /// Adam with bias correction; epsilon in the denominator as in the paper's
 /// reference [27] (Kingma & Ba 2014).
-class Adam final : public Optimizer {
- public:
-  struct Options {
-    double lr = 1e-3;
-    double beta1 = 0.9;
-    double beta2 = 0.999;
-    double epsilon = 1e-8;
-    double weight_decay = 0.0;  // decoupled (AdamW-style) when > 0
-  };
+struct AdamOptions {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;  // decoupled (AdamW-style) when > 0
+};
 
-  explicit Adam(std::vector<ParamBlockPtr> params);
-  Adam(std::vector<ParamBlockPtr> params, Options opts);
+template <class S>
+class AdamT final : public Optimizer {
+ public:
+  using Options = AdamOptions;
+
+  explicit AdamT(std::vector<ParamBlockPtrT<S>> params);
+  AdamT(std::vector<ParamBlockPtrT<S>> params, Options opts);
 
   void step() override;
   void zero_grad() override;
@@ -63,12 +73,20 @@ class Adam final : public Optimizer {
   std::int64_t steps_taken() const noexcept { return t_; }
 
  private:
-  std::vector<ParamBlockPtr> params_;
+  std::vector<ParamBlockPtrT<S>> params_;
   Options opts_;
   std::int64_t t_ = 0;
-  std::vector<std::vector<double>> m_;  // first moment, one per segment
-  std::vector<std::vector<double>> v_;  // second moment
-  std::vector<ParamSegment> segments_;
+  std::vector<std::vector<S>> m_;  // first moment, one per segment
+  std::vector<std::vector<S>> v_;  // second moment
+  std::vector<ParamSegmentT<S>> segments_;
 };
+
+using Sgd = SgdT<double>;
+using Adam = AdamT<double>;
+
+extern template class SgdT<float>;
+extern template class SgdT<double>;
+extern template class AdamT<float>;
+extern template class AdamT<double>;
 
 }  // namespace hcrl::nn

@@ -1,0 +1,28 @@
+#include "src/nn/precision.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hcrl::nn {
+
+std::string to_string(Precision p) { return p == Precision::kF32 ? "f32" : "f64"; }
+
+Precision precision_from_string(const std::string& name) {
+  if (name == "f32" || name == "float") return Precision::kF32;
+  if (name == "f64" || name == "double") return Precision::kF64;
+  throw std::invalid_argument("precision_from_string: unknown precision '" + name +
+                              "' (want f32 or f64)");
+}
+
+Precision default_precision() {
+  // Read once: flipping the environment mid-process would otherwise let two
+  // halves of one experiment disagree about the default.
+  static const Precision p = [] {
+    const char* env = std::getenv("HCRL_PRECISION");
+    if (env == nullptr || *env == '\0') return Precision::kF64;
+    return precision_from_string(env);
+  }();
+  return p;
+}
+
+}  // namespace hcrl::nn

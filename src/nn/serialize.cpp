@@ -12,25 +12,28 @@ namespace {
 constexpr const char* kMagic = "hcrl-params-v1";
 }  // namespace
 
-void save_params(std::ostream& out, const std::vector<ParamBlockPtr>& params) {
+template <class S>
+void save_params(std::ostream& out, const std::vector<ParamBlockPtrT<S>>& params) {
   auto segs = gather_segments(params);
   std::size_t total = 0;
   for (const auto& s : segs) total += s.n;
   out << kMagic << "\n" << total << "\n";
   out.precision(std::numeric_limits<double>::max_digits10);
   for (const auto& s : segs) {
-    for (std::size_t i = 0; i < s.n; ++i) out << s.value[i] << "\n";
+    for (std::size_t i = 0; i < s.n; ++i) out << static_cast<double>(s.value[i]) << "\n";
   }
   if (!out) throw std::runtime_error("save_params: stream write failed");
 }
 
-void save_params_file(const std::string& path, const std::vector<ParamBlockPtr>& params) {
+template <class S>
+void save_params_file(const std::string& path, const std::vector<ParamBlockPtrT<S>>& params) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_params_file: cannot open " + path);
   save_params(out, params);
 }
 
-void load_params(std::istream& in, const std::vector<ParamBlockPtr>& params) {
+template <class S>
+void load_params(std::istream& in, const std::vector<ParamBlockPtrT<S>>& params) {
   std::string magic;
   std::size_t total = 0;
   in >> magic >> total;
@@ -44,15 +47,30 @@ void load_params(std::istream& in, const std::vector<ParamBlockPtr>& params) {
   }
   for (auto& s : segs) {
     for (std::size_t i = 0; i < s.n; ++i) {
-      if (!(in >> s.value[i])) throw std::invalid_argument("load_params: truncated file");
+      double v = 0.0;
+      if (!(in >> v)) throw std::invalid_argument("load_params: truncated file");
+      s.value[i] = static_cast<S>(v);
     }
   }
 }
 
-void load_params_file(const std::string& path, const std::vector<ParamBlockPtr>& params) {
+template <class S>
+void load_params_file(const std::string& path, const std::vector<ParamBlockPtrT<S>>& params) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_params_file: cannot open " + path);
   load_params(in, params);
 }
+
+#define HCRL_NN_INSTANTIATE_SERIALIZE(S)                                                   \
+  template void save_params<S>(std::ostream&, const std::vector<ParamBlockPtrT<S>>&);      \
+  template void save_params_file<S>(const std::string&,                                    \
+                                    const std::vector<ParamBlockPtrT<S>>&);                \
+  template void load_params<S>(std::istream&, const std::vector<ParamBlockPtrT<S>>&);      \
+  template void load_params_file<S>(const std::string&,                                    \
+                                    const std::vector<ParamBlockPtrT<S>>&);
+
+HCRL_NN_INSTANTIATE_SERIALIZE(float)
+HCRL_NN_INSTANTIATE_SERIALIZE(double)
+#undef HCRL_NN_INSTANTIATE_SERIALIZE
 
 }  // namespace hcrl::nn

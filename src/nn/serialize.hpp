@@ -3,7 +3,11 @@
 // The format is intentionally simple: a magic header, the number of
 // parameter scalars, then one value per line with full precision. It is
 // shape-unaware — the caller must construct an identically-shaped model
-// before loading — which keeps the format stable across refactors.
+// before loading — which keeps the format stable across refactors. It is
+// also precision-unaware: values are written as decimal text at full double
+// precision regardless of the model's Scalar type, so an f32 model can be
+// saved and restored (and a f64 checkpoint loads into an f32 model with the
+// expected rounding).
 #pragma once
 
 #include <iosfwd>
@@ -14,11 +18,15 @@
 
 namespace hcrl::nn {
 
-void save_params(std::ostream& out, const std::vector<ParamBlockPtr>& params);
-void save_params_file(const std::string& path, const std::vector<ParamBlockPtr>& params);
+template <class S>
+void save_params(std::ostream& out, const std::vector<ParamBlockPtrT<S>>& params);
+template <class S>
+void save_params_file(const std::string& path, const std::vector<ParamBlockPtrT<S>>& params);
 
 /// Throws std::invalid_argument on header/size mismatch.
-void load_params(std::istream& in, const std::vector<ParamBlockPtr>& params);
-void load_params_file(const std::string& path, const std::vector<ParamBlockPtr>& params);
+template <class S>
+void load_params(std::istream& in, const std::vector<ParamBlockPtrT<S>>& params);
+template <class S>
+void load_params_file(const std::string& path, const std::vector<ParamBlockPtrT<S>>& params);
 
 }  // namespace hcrl::nn

@@ -6,18 +6,32 @@
 // autoencoder/weight-sharing architecture, and (b) a reusable DRL building
 // block. Targets use continuous-time SMDP discounting (Eqn. 2); stability
 // comes from experience replay and a periodically-synced target network.
+//
+// The agent is precision-parameterized: Options::precision picks the float
+// or double instantiation of the NN substrate for the networks, optimizer
+// state and GEMM sweeps. The boundary stays double-typed (states, Q-values,
+// replay transitions) so callers are precision-agnostic; replay storage and
+// minibatch sampling are shared across precisions, which is what lets the
+// f32-vs-f64 parity gates compare agents transition for transition.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "src/common/rng.hpp"
-#include "src/nn/network.hpp"
-#include "src/nn/optimizer.hpp"
+#include "src/nn/layer.hpp"
+#include "src/nn/precision.hpp"
 #include "src/rl/replay.hpp"
 #include "src/rl/schedule.hpp"
 
 namespace hcrl::rl {
+
+namespace detail {
+template <class S>
+class DqnCore;
+}  // namespace detail
 
 class DqnAgent {
  public:
@@ -40,17 +54,25 @@ class DqnAgent {
     /// Train on the whole minibatch in one batched forward/backward pair
     /// (GEMM path). The per-sample loop is kept as the reference
     /// implementation. For layer dimensions within one GEMM panel
-    /// (k <= 192, see matrix.cpp's kKBlock) the two paths accumulate
-    /// bit-identical gradients (tests/batch_parity_test.cpp); beyond that
-    /// the panel split regroups the reduction chains, and the paths agree
-    /// only to floating-point reassociation error.
+    /// (see matrix.cpp's Panel<S>) the two paths accumulate bit-identical
+    /// gradients (tests/batch_parity_test.cpp); beyond that the panel split
+    /// regroups the reduction chains, and the paths agree only to
+    /// floating-point reassociation error.
     bool batched_train = true;
+    /// Scalar type of the networks/optimizer (f32 halves memory traffic and
+    /// doubles SIMD width in the GEMM kernels). Defaults to the process-wide
+    /// default (HCRL_PRECISION environment variable, f64 when unset).
+    nn::Precision precision = nn::default_precision();
   };
 
   DqnAgent(std::size_t state_dim, std::size_t n_actions, const Options& opts, common::Rng& rng);
+  ~DqnAgent();
+  DqnAgent(DqnAgent&&) noexcept;
+  DqnAgent& operator=(DqnAgent&&) noexcept;
 
   std::size_t state_dim() const noexcept { return state_dim_; }
   std::size_t n_actions() const noexcept { return n_actions_; }
+  nn::Precision precision() const noexcept { return opts_.precision; }
 
   /// Q-values of every action in `state` (online network, inference).
   nn::Vec q_values(const nn::Vec& state);
@@ -66,27 +88,34 @@ class DqnAgent {
   double train_step();
 
   const ReplayBuffer<Transition>& replay() const noexcept { return replay_; }
-  /// Online-network parameters (used for persistence and parity tests).
-  std::vector<nn::ParamBlockPtr> trainable_params() const { return online_.params(); }
+  /// Online-network parameter blocks. Only valid for f64 agents (the blocks
+  /// are double-typed); throws std::logic_error at f32 — use param_values()
+  /// or save/load for precision-agnostic access.
+  std::vector<nn::ParamBlockPtr> trainable_params() const;
+  /// Flattened copy of every online-network parameter as double, at any
+  /// precision (parity tests, diagnostics).
+  std::vector<double> param_values() const;
+  /// Persist / restore the online network (text format of nn/serialize.hpp;
+  /// works at either precision). Loading also syncs the target network.
+  void save_params(std::ostream& out) const;
+  void load_params(std::istream& in);
+
   std::int64_t observed_transitions() const noexcept { return observed_; }
   std::int64_t train_steps() const noexcept { return train_steps_; }
   double current_epsilon() const { return opts_.epsilon.value(action_steps_); }
   double last_loss() const noexcept { return last_loss_; }
 
  private:
-  void sync_target();
-  /// Accumulate minibatch gradients sample by sample; returns summed loss.
-  double accumulate_grads_per_sample(const std::vector<const Transition*>& batch, double inv_n);
-  /// Same math through one batched forward/backward pair per network.
-  double accumulate_grads_batched(const std::vector<const Transition*>& batch, double inv_n);
+  void sync_target_();
 
   std::size_t state_dim_;
   std::size_t n_actions_;
   Options opts_;
-  nn::Network online_;
-  nn::Network target_;
-  std::vector<nn::ParamBlockPtr> online_params_;  // gathered once, reused every step
-  std::unique_ptr<nn::Adam> optimizer_;
+  // Exactly one core is non-null, matching opts_.precision; the facade keeps
+  // the precision-independent state (replay, counters, schedules) so both
+  // instantiations share one behaviour.
+  std::unique_ptr<detail::DqnCore<float>> f32_;
+  std::unique_ptr<detail::DqnCore<double>> f64_;
   ReplayBuffer<Transition> replay_;
   common::Rng train_rng_;
   std::int64_t observed_ = 0;

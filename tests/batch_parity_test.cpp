@@ -3,9 +3,16 @@
 // forward() calls (and likewise for backward gradients, LSTM steps/BPTT, the
 // autoencoder training step, the grouped Q-network sweep, and the batched
 // DQN train step) to 1e-12, across random shapes, activations and seeds.
+//
+// Also the precision gates of the f32 compute mode: the float instantiation
+// of the substrate must track the double one to 1e-4 relative (forward,
+// backward gradients, LSTM) and a DQN agent trained at f32 must pick the
+// same greedy actions as its f64 twin; and the threaded GEMM path must be
+// BIT-identical to serial at any thread count.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "src/common/rng.hpp"
@@ -14,6 +21,7 @@
 #include "src/nn/loss.hpp"
 #include "src/nn/lstm.hpp"
 #include "src/nn/network.hpp"
+#include "src/nn/precision.hpp"
 #include "src/rl/dqn.hpp"
 
 namespace hcrl::nn {
@@ -258,6 +266,254 @@ TEST(BatchParity, AutoencoderBatchedTrainMatchesPerSampleReference) {
   }
 }
 
+// ---- f32-vs-f64 precision gates ------------------------------------------
+
+// |a - b| <= tol * max(1, |b|): relative against the f64 reference, with an
+// absolute floor so near-zero values don't demand absolute f32 exactness.
+void expect_rel_close(double a, double b, double tol, const char* what) {
+  EXPECT_LE(std::abs(a - b), tol * std::max(1.0, std::abs(b))) << what << ": " << a << " vs " << b;
+}
+
+constexpr double kPrecTol = 1e-4;
+
+struct NetGeometry {
+  std::vector<std::size_t> dims;       // layer widths incl. input
+  std::vector<Activation> activations;  // one per dense layer
+};
+
+NetGeometry random_geometry(std::uint64_t seed) {
+  static const Activation kKinds[] = {Activation::kIdentity, Activation::kRelu,
+                                      Activation::kElu, Activation::kTanh,
+                                      Activation::kSigmoid};
+  common::Rng rng(seed * 7919);
+  NetGeometry g;
+  g.dims.push_back(1 + static_cast<std::size_t>(rng.uniform_int(0, 11)));
+  const std::size_t layers = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+  for (std::size_t l = 0; l < layers; ++l) {
+    g.dims.push_back(1 + static_cast<std::size_t>(rng.uniform_int(0, 15)));
+    g.activations.push_back(kKinds[rng.uniform_int(0, 4)]);
+  }
+  return g;
+}
+
+// Both precisions consume the identical double-valued init stream, so the
+// f32 net holds exactly the rounded weights of the f64 net.
+template <class S>
+NetworkT<S> build_geometry_net(const NetGeometry& g, std::uint64_t weight_seed) {
+  common::Rng rng(weight_seed);
+  NetworkT<S> net;
+  for (std::size_t l = 0; l + 1 < g.dims.size(); ++l) {
+    net.add_dense(g.dims[l], g.dims[l + 1], g.activations[l], rng);
+  }
+  return net;
+}
+
+TEST(PrecisionParity, NetworkForwardF32TracksF64) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const NetGeometry g = random_geometry(seed);
+    NetworkT<double> net64 = build_geometry_net<double>(g, seed * 131);
+    NetworkT<float> net32 = build_geometry_net<float>(g, seed * 131);
+
+    common::Rng data(seed * 977);
+    const std::size_t batch = 1 + static_cast<std::size_t>(data.uniform_int(0, 24));
+    std::vector<Vec> xs;
+    for (std::size_t b = 0; b < batch; ++b) xs.push_back(random_vec(g.dims.front(), data));
+    std::vector<VecT<float>> xs32;
+    for (const Vec& x : xs) xs32.push_back(convert_vec<float>(x));
+
+    const MatrixT<double> Y64 = net64.predict_batch(MatrixT<double>::from_rows(xs));
+    const MatrixT<float> Y32 = net32.predict_batch(MatrixT<float>::from_rows(xs32));
+    ASSERT_TRUE(Y64.rows() == Y32.rows() && Y64.cols() == Y32.cols());
+    for (std::size_t b = 0; b < Y64.rows(); ++b) {
+      for (std::size_t j = 0; j < Y64.cols(); ++j) {
+        expect_rel_close(static_cast<double>(Y32(b, j)), Y64(b, j), kPrecTol, "forward");
+      }
+    }
+  }
+}
+
+TEST(PrecisionParity, NetworkBackwardGradientsF32TrackF64) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const NetGeometry g = random_geometry(seed);
+    NetworkT<double> net64 = build_geometry_net<double>(g, seed * 577);
+    NetworkT<float> net32 = build_geometry_net<float>(g, seed * 577);
+
+    common::Rng data(seed * 271);
+    const std::size_t batch = 1 + static_cast<std::size_t>(data.uniform_int(0, 16));
+    std::vector<Vec> xs, dys;
+    for (std::size_t b = 0; b < batch; ++b) {
+      xs.push_back(random_vec(g.dims.front(), data));
+      dys.push_back(random_vec(g.dims.back(), data));
+    }
+    std::vector<VecT<float>> xs32, dys32;
+    for (const Vec& x : xs) xs32.push_back(convert_vec<float>(x));
+    for (const Vec& d : dys) dys32.push_back(convert_vec<float>(d));
+
+    net64.zero_grad();
+    net64.forward_batch(MatrixT<double>::from_rows(xs));
+    net64.backward_batch(MatrixT<double>::from_rows(dys));
+    net32.zero_grad();
+    net32.forward_batch(MatrixT<float>::from_rows(xs32));
+    net32.backward_batch(MatrixT<float>::from_rows(dys32));
+
+    std::vector<ParamSegmentT<double>> s64 = gather_segments(net64.params());
+    std::vector<ParamSegmentT<float>> s32 = gather_segments(net32.params());
+    ASSERT_EQ(s64.size(), s32.size());
+    for (std::size_t s = 0; s < s64.size(); ++s) {
+      ASSERT_EQ(s64[s].n, s32[s].n);
+      for (std::size_t i = 0; i < s64[s].n; ++i) {
+        expect_rel_close(static_cast<double>(s32[s].grad[i]), s64[s].grad[i], kPrecTol,
+                         "backward grad");
+      }
+    }
+  }
+}
+
+TEST(PrecisionParity, LstmF32TracksF64ThroughStepsAndBptt) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    common::Rng geo(seed * 43);
+    const std::size_t in = 1 + static_cast<std::size_t>(geo.uniform_int(0, 2));
+    const std::size_t hidden = 2 + static_cast<std::size_t>(geo.uniform_int(0, 8));
+    const std::size_t batch = 1 + static_cast<std::size_t>(geo.uniform_int(0, 7));
+    const std::size_t steps = 2 + static_cast<std::size_t>(geo.uniform_int(0, 4));
+
+    auto params64 = std::make_shared<LstmParamsT<double>>(hidden, in);
+    auto params32 = std::make_shared<LstmParamsT<float>>(hidden, in);
+    common::Rng init64(seed * 17), init32(seed * 17);
+    init_lstm(*params64, init64);
+    init_lstm(*params32, init32);
+    params64->zero_grad();
+    params32->zero_grad();
+
+    LstmT<double> lstm64(params64);
+    LstmT<float> lstm32(params32);
+
+    common::Rng data(seed * 601);
+    std::vector<MatrixT<double>> Xs64, dH64;
+    std::vector<MatrixT<float>> Xs32, dH32;
+    for (std::size_t t = 0; t < steps; ++t) {
+      std::vector<Vec> xs, dhs;
+      std::vector<VecT<float>> xs32, dhs32;
+      for (std::size_t b = 0; b < batch; ++b) {
+        xs.push_back(random_vec(in, data));
+        dhs.push_back(random_vec(hidden, data));
+        xs32.push_back(convert_vec<float>(xs.back()));
+        dhs32.push_back(convert_vec<float>(dhs.back()));
+      }
+      Xs64.push_back(MatrixT<double>::from_rows(xs));
+      dH64.push_back(MatrixT<double>::from_rows(dhs));
+      Xs32.push_back(MatrixT<float>::from_rows(xs32));
+      dH32.push_back(MatrixT<float>::from_rows(dhs32));
+    }
+
+    const auto hs64 = lstm64.forward_batch(Xs64);
+    const auto hs32 = lstm32.forward_batch(Xs32);
+    for (std::size_t t = 0; t < steps; ++t) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t j = 0; j < hidden; ++j) {
+          expect_rel_close(static_cast<double>(hs32[t](b, j)), hs64[t](b, j), kPrecTol,
+                           "lstm hidden");
+        }
+      }
+    }
+
+    lstm64.backward_batch(dH64);
+    lstm32.backward_batch(dH32);
+    std::vector<ParamSegmentT<double>> s64;
+    std::vector<ParamSegmentT<float>> s32;
+    params64->append_segments(s64);
+    params32->append_segments(s32);
+    ASSERT_EQ(s64.size(), s32.size());
+    for (std::size_t s = 0; s < s64.size(); ++s) {
+      ASSERT_EQ(s64[s].n, s32[s].n);
+      for (std::size_t i = 0; i < s64[s].n; ++i) {
+        expect_rel_close(static_cast<double>(s32[s].grad[i]), s64[s].grad[i], kPrecTol,
+                         "lstm bptt grad");
+      }
+    }
+  }
+}
+
+// ---- threaded GEMM: bit-identity against serial ---------------------------
+
+template <class S>
+MatrixT<S> random_matrix(std::size_t r, std::size_t c, common::Rng& rng) {
+  MatrixT<S> m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<S>(rng.uniform(-1.5, 1.5));
+  }
+  return m;
+}
+
+template <class S>
+void expect_bit_identical(const MatrixT<S>& a, const MatrixT<S>& b, const char* what) {
+  ASSERT_TRUE(a.same_shape(b)) << what;
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(S)), 0) << what;
+}
+
+// Row-blocking the M dimension never splits an output element's k reduction
+// across threads, so every element is computed by the identical serial code
+// path: results must match BIT for bit, at any thread count, kernels and
+// precisions alike (this is what keeps ParallelRunner runs reproducible when
+// HCRL_GEMM_THREADS > 1).
+template <class S>
+void check_threaded_gemm_bit_identical() {
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  // Includes shapes large enough to engage the pool and to cross the L2
+  // panel blocking thresholds of both precisions.
+  const Shape shapes[] = {{64, 64, 64}, {33, 17, 9}, {96, 300, 40}, {128, 260, 300}};
+  common::Rng rng(20260729);
+  for (const Shape& sh : shapes) {
+    const MatrixT<S> A = random_matrix<S>(sh.m, sh.k, rng);
+    const MatrixT<S> B = random_matrix<S>(sh.k, sh.n, rng);
+    const MatrixT<S> At = random_matrix<S>(sh.k, sh.m, rng);
+    const MatrixT<S> Bt = random_matrix<S>(sh.n, sh.k, rng);
+    const MatrixT<S> Acc = random_matrix<S>(sh.m, sh.n, rng);
+
+    set_gemm_threads(1);
+    MatrixT<S> c1, d1, e1, f1 = Acc;
+    gemm(A, B, c1);
+    gemm_tn(At, B, d1);
+    gemm_nt(A, Bt, e1);
+    gemm(A, B, f1, /*accumulate=*/true);
+
+    for (std::size_t threads : {2u, 4u, 7u}) {
+      set_gemm_threads(threads);
+      MatrixT<S> c2, d2, e2, f2 = Acc;
+      gemm(A, B, c2);
+      gemm_tn(At, B, d2);
+      gemm_nt(A, Bt, e2);
+      gemm(A, B, f2, /*accumulate=*/true);
+      expect_bit_identical(c1, c2, "gemm");
+      expect_bit_identical(d1, d2, "gemm_tn");
+      expect_bit_identical(e1, e2, "gemm_nt");
+      expect_bit_identical(f1, f2, "gemm accumulate");
+    }
+    set_gemm_threads(1);
+  }
+}
+
+TEST(GemmThreads, ThreadedBitIdenticalToSerialF64) {
+  check_threaded_gemm_bit_identical<double>();
+}
+
+TEST(GemmThreads, ThreadedBitIdenticalToSerialF32) {
+  check_threaded_gemm_bit_identical<float>();
+}
+
+TEST(GemmThreads, KnobClampsAndReads) {
+  const std::size_t before = gemm_threads();
+  set_gemm_threads(0);
+  EXPECT_EQ(gemm_threads(), 1u);
+  set_gemm_threads(3);
+  EXPECT_EQ(gemm_threads(), 3u);
+  set_gemm_threads(1 << 20);
+  EXPECT_EQ(gemm_threads(), 64u);
+  set_gemm_threads(before > 0 ? before : 1);
+}
+
 }  // namespace
 }  // namespace hcrl::nn
 
@@ -278,51 +534,100 @@ Transition random_transition(std::size_t state_dim, std::size_t n_actions, commo
 
 // Same seed + same replay contents => identical parameters after K train
 // steps, whether the minibatch is processed by the batched GEMM path or the
-// per-sample seed loop.
+// per-sample seed loop — at either precision (the accumulation-order
+// argument is Scalar-independent).
 TEST(BatchParity, DqnBatchedTrainStepIsDeterministicallyEquivalent) {
-  for (const bool double_q : {false, true}) {
-    DqnAgent::Options base;
-    base.hidden_dims = {24, 16};
-    base.batch_size = 32;
-    base.min_replay_before_training = 64;
-    base.train_interval = 1000000;  // never train inside observe()
-    base.target_sync_interval = 1000000;
-    base.double_q = double_q;
+  for (const nn::Precision precision : {nn::Precision::kF64, nn::Precision::kF32}) {
+    for (const bool double_q : {false, true}) {
+      DqnAgent::Options base;
+      base.hidden_dims = {24, 16};
+      base.batch_size = 32;
+      base.min_replay_before_training = 64;
+      base.train_interval = 1000000;  // never train inside observe()
+      base.target_sync_interval = 1000000;
+      base.double_q = double_q;
+      base.precision = precision;
 
-    DqnAgent::Options batched = base;
-    batched.batched_train = true;
-    DqnAgent::Options per_sample = base;
-    per_sample.batched_train = false;
+      DqnAgent::Options batched = base;
+      batched.batched_train = true;
+      DqnAgent::Options per_sample = base;
+      per_sample.batched_train = false;
 
-    const std::size_t state_dim = 9, n_actions = 5;
-    common::Rng rng_a(4242), rng_b(4242);
-    DqnAgent agent_a(state_dim, n_actions, batched, rng_a);
-    DqnAgent agent_b(state_dim, n_actions, per_sample, rng_b);
+      const std::size_t state_dim = 9, n_actions = 5;
+      common::Rng rng_a(4242), rng_b(4242);
+      DqnAgent agent_a(state_dim, n_actions, batched, rng_a);
+      DqnAgent agent_b(state_dim, n_actions, per_sample, rng_b);
 
-    common::Rng data_a(7), data_b(7);
-    for (int i = 0; i < 200; ++i) {
-      agent_a.observe(random_transition(state_dim, n_actions, data_a));
-      agent_b.observe(random_transition(state_dim, n_actions, data_b));
-    }
+      common::Rng data_a(7), data_b(7);
+      for (int i = 0; i < 200; ++i) {
+        agent_a.observe(random_transition(state_dim, n_actions, data_a));
+        agent_b.observe(random_transition(state_dim, n_actions, data_b));
+      }
 
-    for (int k = 0; k < 25; ++k) {
-      const double la = agent_a.train_step();
-      const double lb = agent_b.train_step();
-      EXPECT_NEAR(la, lb, 1e-12) << "double_q=" << double_q << " step " << k;
-    }
-    // Compare the full online-network parameter vectors element by element.
-    std::vector<nn::ParamSegment> sa, sb;
-    for (const auto& p : agent_a.trainable_params()) p->append_segments(sa);
-    for (const auto& p : agent_b.trainable_params()) p->append_segments(sb);
-    ASSERT_EQ(sa.size(), sb.size());
-    for (std::size_t s = 0; s < sa.size(); ++s) {
-      ASSERT_EQ(sa[s].n, sb[s].n);
-      for (std::size_t i = 0; i < sa[s].n; ++i) {
-        EXPECT_NEAR(sa[s].value[i], sb[s].value[i], 1e-12)
-            << "double_q=" << double_q << " segment " << s << " index " << i;
+      for (int k = 0; k < 25; ++k) {
+        const double la = agent_a.train_step();
+        const double lb = agent_b.train_step();
+        EXPECT_NEAR(la, lb, 1e-12) << "precision=" << nn::to_string(precision)
+                                   << " double_q=" << double_q << " step " << k;
+      }
+      // Compare the full online-network parameter vectors element by element
+      // (param_values works at either precision).
+      const std::vector<double> va = agent_a.param_values();
+      const std::vector<double> vb = agent_b.param_values();
+      ASSERT_EQ(va.size(), vb.size());
+      for (std::size_t i = 0; i < va.size(); ++i) {
+        EXPECT_NEAR(va[i], vb[i], 1e-12) << "precision=" << nn::to_string(precision)
+                                         << " double_q=" << double_q << " index " << i;
       }
     }
   }
+}
+
+// f32-vs-f64 gate on the full training loop: two agents fed the identical
+// transition stream and minibatch schedule, differing only in Scalar type,
+// must agree on (almost all) greedy actions after a 25-step training run —
+// the decision-level statement of "Q-learning is noise-tolerant".
+TEST(PrecisionParity, DqnGreedyActionsAgreeAcrossPrecisionsAfterTraining) {
+  DqnAgent::Options base;
+  base.hidden_dims = {32};
+  base.batch_size = 32;
+  base.min_replay_before_training = 64;
+  base.train_interval = 1000000;
+  base.target_sync_interval = 1000000;
+
+  DqnAgent::Options f64 = base;
+  f64.precision = nn::Precision::kF64;
+  DqnAgent::Options f32 = base;
+  f32.precision = nn::Precision::kF32;
+
+  const std::size_t state_dim = 12, n_actions = 6;
+  common::Rng rng_a(90210), rng_b(90210);
+  DqnAgent agent64(state_dim, n_actions, f64, rng_a);
+  DqnAgent agent32(state_dim, n_actions, f32, rng_b);
+
+  common::Rng data_a(31), data_b(31);
+  for (int i = 0; i < 256; ++i) {
+    agent64.observe(random_transition(state_dim, n_actions, data_a));
+    agent32.observe(random_transition(state_dim, n_actions, data_b));
+  }
+  for (int k = 0; k < 25; ++k) {
+    const double l64 = agent64.train_step();
+    const double l32 = agent32.train_step();
+    // Same minibatch schedule (same fork seed), so the losses track closely.
+    EXPECT_LE(std::abs(l64 - l32), 1e-3 * std::max(1.0, std::abs(l64))) << "step " << k;
+  }
+
+  common::Rng probe(777);
+  int agree = 0;
+  const int probes = 200;
+  for (int i = 0; i < probes; ++i) {
+    nn::Vec s(state_dim);
+    for (auto& v : s) v = probe.uniform(-1.0, 1.0);
+    agree += agent64.act_greedy(s) == agent32.act_greedy(s) ? 1 : 0;
+  }
+  // Ties between near-equal Q-values may flip under f32 rounding; anything
+  // beyond a stray handful of states means the precisions diverged.
+  EXPECT_GE(agree, probes * 95 / 100) << "agreement " << agree << "/" << probes;
 }
 
 }  // namespace

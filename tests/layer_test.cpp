@@ -149,10 +149,11 @@ TEST(ParamBlock, CopyValuesBetweenBlocks) {
   auto a = std::make_shared<DenseParams>(2, 2);
   auto b = std::make_shared<DenseParams>(2, 2);
   a->W.fill(3.0);
-  copy_param_values({a}, {b});
+  copy_param_values(std::vector<ParamBlockPtr>{a}, std::vector<ParamBlockPtr>{b});
   EXPECT_DOUBLE_EQ(b->W(1, 1), 3.0);
   auto c = std::make_shared<DenseParams>(3, 2);
-  EXPECT_THROW(copy_param_values({a}, {c}), std::invalid_argument);
+  EXPECT_THROW(copy_param_values(std::vector<ParamBlockPtr>{a}, std::vector<ParamBlockPtr>{c}),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -156,7 +156,7 @@ TEST(Lstm, LearnsToPredictSineNextValue) {
     std::vector<Vec> dh_list(lookback, Vec(hidden, 0.0));
     dh_list.back() = dh;
     lstm.backward(dh_list);
-    clip_grad_norm({lstm_params, out_params}, 10.0);
+    clip_grad_norm(std::vector<ParamBlockPtr>{lstm_params, out_params}, 10.0);
     opt.step();
 
     if (it < 20) first_loss += loss.value;

@@ -89,15 +89,15 @@ TEST(VecHelpers, ScaleDotNorm) {
 
 TEST(VecHelpers, Concat) {
   const Vec a = {1.0}, b = {2.0, 3.0}, c = {};
-  const Vec out = concat({&a, &b, &c});
+  const Vec out = concat(std::vector<const Vec*>{&a, &b, &c});
   ASSERT_EQ(out.size(), 3u);
   EXPECT_DOUBLE_EQ(out[2], 3.0);
 }
 
 TEST(VecHelpers, ArgmaxFirstOnTies) {
-  EXPECT_EQ(argmax({1.0, 5.0, 5.0, 2.0}), 1u);
-  EXPECT_EQ(argmax({-3.0}), 0u);
-  EXPECT_THROW(argmax({}), std::invalid_argument);
+  EXPECT_EQ(argmax(Vec{1.0, 5.0, 5.0, 2.0}), 1u);
+  EXPECT_EQ(argmax(Vec{-3.0}), 0u);
+  EXPECT_THROW(argmax(Vec{}), std::invalid_argument);
 }
 
 // --- GEMM kernels ---------------------------------------------------------

@@ -17,7 +17,7 @@ DenseParamsPtr single_param(double value, double grad) {
 
 TEST(ClipGradNorm, NoOpBelowThreshold) {
   auto p = single_param(0.0, 3.0);
-  const double norm = clip_grad_norm({p}, 10.0);
+  const double norm = clip_grad_norm(std::vector<ParamBlockPtr>{p}, 10.0);
   EXPECT_DOUBLE_EQ(norm, 3.0);
   EXPECT_DOUBLE_EQ(p->gW(0, 0), 3.0);
 }
@@ -25,7 +25,7 @@ TEST(ClipGradNorm, NoOpBelowThreshold) {
 TEST(ClipGradNorm, ScalesAboveThreshold) {
   auto a = single_param(0.0, 3.0);
   auto b = single_param(0.0, 4.0);
-  const double norm = clip_grad_norm({a, b}, 1.0);  // global norm = 5
+  const double norm = clip_grad_norm(std::vector<ParamBlockPtr>{a, b}, 1.0);  // global norm = 5
   EXPECT_DOUBLE_EQ(norm, 5.0);
   EXPECT_NEAR(a->gW(0, 0), 0.6, 1e-12);
   EXPECT_NEAR(b->gW(0, 0), 0.8, 1e-12);
@@ -33,7 +33,7 @@ TEST(ClipGradNorm, ScalesAboveThreshold) {
 
 TEST(ClipGradNorm, InvalidMaxNormThrows) {
   auto p = single_param(0.0, 1.0);
-  EXPECT_THROW(clip_grad_norm({p}, 0.0), std::invalid_argument);
+  EXPECT_THROW(clip_grad_norm(std::vector<ParamBlockPtr>{p}, 0.0), std::invalid_argument);
 }
 
 TEST(Sgd, PlainStep) {
