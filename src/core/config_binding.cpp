@@ -34,6 +34,7 @@ ExperimentConfig experiment_config_from(const common::Config& config) {
     throw std::invalid_argument("experiment_config_from: gemm_threads must be >= 0");
   }
   cfg.gemm_threads = static_cast<std::size_t>(gemm_threads);
+  cfg.batch_decisions = config.get_bool("batch_decisions", cfg.batch_decisions);
 
   // Trace.
   cfg.trace.num_jobs =

@@ -1,0 +1,96 @@
+#include "src/core/decision_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/core/predictor.hpp"
+#include "src/core/qnetwork.hpp"
+
+namespace hcrl::core {
+
+void DecisionService::begin_epoch_if_needed() {
+  if (!flushed_) return;
+  predict_reqs_.clear();
+  q_states_.clear();
+  qnet_ = nullptr;
+  flushed_ = false;
+}
+
+DecisionService::Ticket DecisionService::stage_predict(WorkloadPredictor& predictor) {
+  begin_epoch_if_needed();
+  predict_reqs_.push_back(&predictor);
+  ++stats_.predict_requests;
+  return predict_reqs_.size() - 1;
+}
+
+DecisionService::Ticket DecisionService::stage_q_values(GroupedQNetwork& qnet,
+                                                        const nn::Vec& state) {
+  begin_epoch_if_needed();
+  if (qnet_ != nullptr && qnet_ != &qnet) {
+    throw std::logic_error("DecisionService: one epoch may only stage one Q-network");
+  }
+  qnet_ = &qnet;
+  q_states_.push_back(&state);
+  ++stats_.q_requests;
+  return q_states_.size() - 1;
+}
+
+void DecisionService::flush() {
+  if (flushed_) return;  // nothing staged since the last flush
+  const std::size_t total = predict_reqs_.size() + q_states_.size();
+  stats_.max_epoch_requests = std::max(stats_.max_epoch_requests, total);
+  if (total > 0) ++stats_.flushes;
+
+  // Fuse prediction requests per predictor instance, preserving first-seen
+  // order: n requests against one predictor cost one predict_n(n) sweep
+  // (batch-n LSTM chain) instead of n forward chains. The scan is quadratic
+  // in the epoch backlog, which is at most a handful of requests.
+  predictions_.assign(predict_reqs_.size(), 0.0);
+  std::vector<bool> scattered(predict_reqs_.size(), false);
+  for (std::size_t i = 0; i < predict_reqs_.size(); ++i) {
+    if (scattered[i]) continue;
+    std::size_t n = 0;
+    for (std::size_t j = i; j < predict_reqs_.size(); ++j) {
+      if (predict_reqs_[j] == predict_reqs_[i]) ++n;
+    }
+    const std::vector<double> vals = predict_reqs_[i]->predict_n(n);
+    std::size_t v = 0;
+    for (std::size_t j = i; j < predict_reqs_.size(); ++j) {
+      if (predict_reqs_[j] != predict_reqs_[i]) continue;
+      predictions_[j] = vals[v++];
+      scattered[j] = true;
+    }
+    ++stats_.predict_batches;
+  }
+
+  // All staged Q-evaluations share ONE batched sweep through the network.
+  if (!q_states_.empty()) {
+    qnet_->q_values_batch(q_states_, q_out_);
+    ++stats_.q_batches;
+  } else {
+    q_out_.resize_for_overwrite(0, 0);
+  }
+  flushed_ = true;
+}
+
+void DecisionService::require_flushed(const char* what) const {
+  if (!flushed_) {
+    throw std::logic_error(std::string("DecisionService::") + what + ": epoch not flushed");
+  }
+}
+
+double DecisionService::prediction(Ticket ticket) const {
+  require_flushed("prediction");
+  if (ticket >= predictions_.size()) {
+    throw std::out_of_range("DecisionService::prediction: bad ticket");
+  }
+  return predictions_[ticket];
+}
+
+std::span<const double> DecisionService::q_values(Ticket ticket) const {
+  require_flushed("q_values");
+  if (ticket >= q_out_.rows()) throw std::out_of_range("DecisionService::q_values: bad ticket");
+  return {q_out_.data() + ticket * q_out_.cols(), q_out_.cols()};
+}
+
+}  // namespace hcrl::core

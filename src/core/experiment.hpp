@@ -70,6 +70,12 @@ struct ExperimentConfig {
   /// bit-identical to serial — so scenarios with different values may share
   /// one sweep.
   std::size_t gemm_threads = 0;
+  /// Route agent inference through a shared core::DecisionService: idle
+  /// decisions staged per decision epoch, predictor/Q evaluations fused into
+  /// batched sweeps, results scattered back (bit-identical action sequences;
+  /// the per-call path is kept as the parity reference and enabled by
+  /// setting this false).
+  bool batch_decisions = true;
 
   void finalize();  // propagate sizes into drl/local sub-configs
   void validate() const;

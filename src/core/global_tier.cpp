@@ -72,6 +72,14 @@ sim::ServerId DrlAllocator::select_server(const sim::Cluster& cluster, const sim
       action = static_cast<std::size_t>(
           rng_.uniform_int(0, static_cast<std::int64_t>(qnet_->num_actions()) - 1));
     }
+  } else if (service_ != nullptr) {
+    // Arrivals are decision-epoch barriers (Cluster::step flushes staged
+    // local-tier work first), so this epoch holds exactly this request; the
+    // value of routing it here is the span read — argmax over the batched
+    // output row, no Q-vector assembly — and the single shared fusion point.
+    const DecisionService::Ticket ticket = service_->stage_q_values(*qnet_, state);
+    service_->flush();
+    action = nn::argmax(service_->q_values(ticket));
   } else {
     action = nn::argmax(qnet_->q_values(state));
   }

@@ -31,6 +31,24 @@ double SlidingMeanPredictor::predict() {
   return sum_ / static_cast<double>(values_.size());
 }
 
+WindowPredictor::WindowPredictor(std::size_t window, double prior_s) {
+  if (window == 0) throw std::invalid_argument("WindowPredictor: window must be > 0");
+  if (prior_s <= 0.0) throw std::invalid_argument("WindowPredictor: prior must be > 0");
+  std::size_t n = 1;
+  while (n < window) n <<= 1;
+  ring_.assign(n, prior_s);
+  mask_ = n - 1;
+  sum_ = prior_s * static_cast<double>(n);
+}
+
+void WindowPredictor::observe(double interarrival_s) {
+  if (interarrival_s < 0.0) throw std::invalid_argument("WindowPredictor: negative inter-arrival");
+  sum_ -= ring_[next_];
+  sum_ += interarrival_s;
+  ring_[next_] = interarrival_s;
+  next_ = (next_ + 1) & mask_;
+}
+
 ArPredictor::ArPredictor(std::size_t order, double prior_s, std::size_t refit_interval,
                          std::size_t history_capacity, double ridge)
     : order_(order),
@@ -262,6 +280,15 @@ double LstmPredictor::predict() {
   return predict_windows({history_.size()}).front();
 }
 
+std::vector<double> LstmPredictor::predict_n(std::size_t n) {
+  if (n == 0) return {};
+  if (history_.size() < opts_.lookback) return std::vector<double>(n, opts_.prior_s);
+  // n copies of the live window through ONE stacked sweep (batch = n). The
+  // GEMM row-batch invariance (see nn/matrix.hpp) makes each entry
+  // bit-identical to a lone predict() call.
+  return predict_windows(std::vector<std::size_t>(n, history_.size()));
+}
+
 std::vector<double> LstmPredictor::predict_windows(const std::vector<std::size_t>& ends) {
   if (ends.empty()) return {};
   for (const std::size_t end : ends) {
@@ -299,6 +326,9 @@ std::unique_ptr<WorkloadPredictor> make_predictor(const std::string& kind,
   if (kind == "last-value") return std::make_unique<LastValuePredictor>(lstm_opts.prior_s);
   if (kind == "sliding-mean") {
     return std::make_unique<SlidingMeanPredictor>(lstm_opts.lookback, lstm_opts.prior_s);
+  }
+  if (kind == "window") {
+    return std::make_unique<WindowPredictor>(lstm_opts.lookback, lstm_opts.prior_s);
   }
   if (kind == "ar") {
     return std::make_unique<ArPredictor>(/*order=*/4, lstm_opts.prior_s);

@@ -12,6 +12,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/rng.hpp"
 #include "src/nn/precision.hpp"
@@ -27,6 +28,16 @@ class WorkloadPredictor {
   /// Predicted next inter-arrival time (seconds). Implementations return a
   /// configurable prior before enough observations accumulate.
   virtual double predict() = 0;
+  /// Batching seam for core::DecisionService: `n` live predictions in one
+  /// call. predict() is pure (no observation is consumed), so every entry
+  /// equals predict(); the default loops it, the LSTM overrides with a single
+  /// batched multi-window sweep so n requests cost one stacked-gate GEMM
+  /// chain instead of n.
+  virtual std::vector<double> predict_n(std::size_t n) {
+    std::vector<double> out(n);
+    for (auto& v : out) v = predict();
+    return out;
+  }
   virtual std::string name() const = 0;
 };
 
@@ -57,6 +68,28 @@ class SlidingMeanPredictor final : public WorkloadPredictor {
   double prior_;
   std::deque<double> values_;
   double sum_ = 0.0;
+};
+
+/// Fixed-window rolling-sum mean over a power-of-two ring buffer — the O(1)
+/// "length predictor" idiom of production log/replication code (SNIPPETS.md
+/// #2/#3). Unlike SlidingMeanPredictor the ring is pre-filled with the
+/// prior, so early predictions blend the prior out sample by sample instead
+/// of jumping to the mean of a short partial window, and observe()/predict()
+/// never allocate. Config name: predictor = "window".
+class WindowPredictor final : public WorkloadPredictor {
+ public:
+  /// `window` is rounded up to the next power of two (mask indexing).
+  explicit WindowPredictor(std::size_t window = 32, double prior_s = 600.0);
+  void observe(double interarrival_s) override;
+  double predict() override { return sum_ / static_cast<double>(ring_.size()); }
+  std::string name() const override { return "window"; }
+  std::size_t window() const noexcept { return ring_.size(); }
+
+ private:
+  std::vector<double> ring_;  // size is a power of two
+  std::size_t mask_;
+  std::size_t next_ = 0;
+  double sum_;
 };
 
 /// Autoregressive AR(p) predictor fit by online least squares — the
@@ -121,6 +154,9 @@ class LstmPredictor final : public WorkloadPredictor {
 
   void observe(double interarrival_s) override;
   double predict() override;
+  /// n live predictions through ONE batched LSTM sweep (batch = n), instead
+  /// of n sequential forward chains; entries are bit-identical to predict().
+  std::vector<double> predict_n(std::size_t n) override;
   std::string name() const override { return "lstm"; }
 
   /// Batched multi-window prediction: window w feeds the `lookback` history
@@ -157,7 +193,8 @@ class LstmPredictor final : public WorkloadPredictor {
   double last_loss_ = -1.0;
 };
 
-/// Factory used by configs ("lstm", "last-value", "sliding-mean").
+/// Factory used by configs ("lstm", "last-value", "sliding-mean", "window",
+/// "ar").
 std::unique_ptr<WorkloadPredictor> make_predictor(const std::string& kind,
                                                   const LstmPredictorOptions& lstm_opts);
 

@@ -54,6 +54,19 @@ void Cluster::load_jobs(std::vector<Job> jobs) {
 }
 
 bool Cluster::step() {
+  // Decision-epoch boundary: decisions staged via PowerPolicy::defer_idle
+  // must be committed before any event that could observe their outcome —
+  // a time advance (a staged timeout may schedule an event earlier than the
+  // current heap top), any job arrival (the global tier's state encoding
+  // reads every server's power state), or queue drain. Same-time non-arrival
+  // events touch only their own server's state and the staged decisions touch
+  // only theirs, so they commute with the staged requests and may extend the
+  // epoch — that is where the cross-server batching comes from.
+  if (power_policy_.has_staged_decisions() &&
+      (queue_.empty() || queue_.top().time != now_ ||
+       queue_.top().type == EventType::kJobArrival)) {
+    power_policy_.flush_decisions();  // may push events at times >= now_
+  }
   if (queue_.empty()) {
     if (!finished_notified_) {
       finished_notified_ = true;
