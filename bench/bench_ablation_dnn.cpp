@@ -26,14 +26,13 @@ class MonolithicDrlAllocator final : public sim::AllocationPolicy {
     agent_ = std::make_unique<rl::DqnAgent>(enc.full_state_dim(), enc.num_servers, o, rng_);
   }
 
-  sim::ServerId select_server(const sim::Cluster& cluster, const sim::Job& job) override {
+  sim::ServerId select_server(const sim::ClusterView& cluster, const sim::Job& job) override {
     const sim::Time now = job.arrival;
     nn::Vec state = encoder_.full_state(cluster, job);
     if (has_prev_) {
       const double tau = std::max(now - prev_time_, 1e-6);
-      const auto& m = cluster.metrics();
-      const double d_energy = m.energy_joules(now) - prev_energy_;
-      const double d_vms = m.jobs_in_system_integral(now) - prev_vms_;
+      const double d_energy = cluster.energy_joules(now) - prev_energy_;
+      const double d_vms = cluster.jobs_in_system_integral(now) - prev_vms_;
       rl::Transition t;
       t.state = prev_state_;
       t.action = prev_action_;
@@ -47,13 +46,12 @@ class MonolithicDrlAllocator final : public sim::AllocationPolicy {
     prev_state_ = std::move(state);
     prev_action_ = action;
     prev_time_ = now;
-    const auto& m = cluster.metrics();
-    prev_energy_ = m.energy_joules(now);
-    prev_vms_ = m.jobs_in_system_integral(now);
+    prev_energy_ = cluster.energy_joules(now);
+    prev_vms_ = cluster.jobs_in_system_integral(now);
     return action;
   }
 
-  void on_simulation_end(const sim::Cluster&, sim::Time) override { has_prev_ = false; }
+  void on_simulation_end(const sim::ClusterView&, sim::Time) override { has_prev_ = false; }
   std::string name() const override { return "monolithic-dqn"; }
   std::size_t param_count() const { return encoder_.options().full_state_dim() * 128 + 128 +
                                            128 * encoder_.options().num_servers +

@@ -12,6 +12,7 @@
 #include "src/rl/smdp.hpp"
 #include "src/rl/tabular_q.hpp"
 #include "src/sim/cluster.hpp"
+#include "src/sim/sharded_cluster.hpp"
 #include "src/workload/generator.hpp"
 
 namespace {
@@ -374,6 +375,39 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(total_events);
 }
 BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_ShardedEventThroughput(benchmark::State& state) {
+  // Events/sec of the sharded engine at cluster scale: 10k servers,
+  // round-robin + 30 s fixed timeout (trace-only routing, so the parallel
+  // engine pre-routes arrivals and the shards run barrier-free). Each job
+  // contributes >= 4 events (arrival, finish, timeout, sleep/wake), so 250k
+  // jobs clears one million events per iteration. Items/s == events/s; arg
+  // is the shard count (1 = sharded engine overhead baseline).
+  const auto num_shards = static_cast<std::size_t>(state.range(0));
+  workload::GeneratorOptions g;
+  g.num_jobs = 250000;
+  g.horizon_s = 250000.0 * 0.02;  // dense arrivals keep 10k servers cycling
+  g.seed = 11;
+  const auto jobs = workload::GoogleTraceGenerator(g).generate();
+  std::int64_t total_events = 0;
+  for (auto _ : state) {
+    sim::RoundRobinAllocator alloc;
+    sim::FixedTimeoutPolicy power(30.0);
+    sim::ShardedClusterConfig cfg;
+    cfg.cluster.num_servers = 10000;
+    cfg.cluster.keep_job_records = false;
+    cfg.cluster.server.t_on = 30.0;
+    cfg.cluster.server.t_off = 10.0;
+    cfg.num_shards = num_shards;
+    cfg.execution = sim::ShardedClusterConfig::Execution::kParallel;
+    sim::ShardedCluster cluster(cfg, alloc, power);
+    cluster.load_jobs(jobs);
+    cluster.run();
+    total_events += static_cast<std::int64_t>(cluster.events_processed());
+  }
+  state.SetItemsProcessed(total_events);
+}
+BENCHMARK(BM_ShardedEventThroughput)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_StateEncoding(benchmark::State& state) {
   core::StateEncoderOptions o;

@@ -89,11 +89,25 @@ def main():
     ap.add_argument("csv_path")
     ap.add_argument("json_path")
     ap.add_argument("--note", default="", help="free-form host/run description")
+    ap.add_argument(
+        "--require-prefix",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="fail unless at least one parsed cell name starts with PREFIX "
+        "(repeatable); guards CI against silently dropping a benchmark",
+    )
     args = ap.parse_args()
 
     cells = parse_csv(args.csv_path)
     if not cells:
         raise SystemExit(f"{args.csv_path}: no benchmark rows parsed")
+    for prefix in args.require_prefix:
+        if not any(cell.startswith(prefix) for cell in cells):
+            raise SystemExit(
+                f"{args.csv_path}: no benchmark cell matches required "
+                f"prefix '{prefix}' (parsed: {', '.join(sorted(cells))})"
+            )
     doc = {
         "schema": SCHEMA,
         "source": args.csv_path,

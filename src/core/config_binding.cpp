@@ -35,6 +35,9 @@ ExperimentConfig experiment_config_from(const common::Config& config) {
   }
   cfg.gemm_threads = static_cast<std::size_t>(gemm_threads);
   cfg.batch_decisions = config.get_bool("batch_decisions", cfg.batch_decisions);
+  const std::int64_t shards = config.get_int("shards", static_cast<std::int64_t>(cfg.shards));
+  if (shards < 0) throw std::invalid_argument("experiment_config_from: shards must be >= 0");
+  cfg.shards = static_cast<std::size_t>(shards);
 
   // Trace.
   cfg.trace.num_jobs =

@@ -44,6 +44,9 @@ void ExperimentConfig::validate() const {
   if (system == SystemKind::kDrlFixedTimeout && fixed_timeout_s < 0.0) {
     throw std::invalid_argument("ExperimentConfig: negative fixed timeout");
   }
+  if (shards > num_servers) {
+    throw std::invalid_argument("ExperimentConfig: more shards than servers");
+  }
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {

@@ -76,6 +76,13 @@ struct ExperimentConfig {
   /// the per-call path is kept as the parity reference and enabled by
   /// setting this false).
   bool batch_decisions = true;
+  /// Event-loop engine for the measured run: 0 keeps the serial sim::Cluster;
+  /// >= 1 runs sim::ShardedCluster with that many shards in deterministic
+  /// lockstep (shards=1 is bit-identical to the serial engine; any fixed
+  /// shard count is bit-reproducible run-to-run). The threaded shard engine
+  /// is exercised by bench/ and tests; the driver keeps lockstep so every
+  /// policy — including the staging RL tiers — is supported unchanged.
+  std::size_t shards = 0;
 
   void finalize();  // propagate sizes into drl/local sub-configs
   void validate() const;

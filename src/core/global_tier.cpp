@@ -4,7 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
-#include "src/sim/cluster.hpp"
+#include "src/sim/cluster_view.hpp"
 
 namespace hcrl::core {
 
@@ -28,12 +28,11 @@ DrlAllocator::DrlAllocator(const DrlAllocatorOptions& opts)
   qnet_ = std::make_unique<GroupedQNetwork>(opts_.qnet, rng_);
 }
 
-double DrlAllocator::reward_rate_since_prev(const sim::Cluster& cluster, sim::Time now,
+double DrlAllocator::reward_rate_since_prev(const sim::ClusterView& cluster, sim::Time now,
                                             double tau) const {
-  const auto& m = cluster.metrics();
-  const double d_energy = m.energy_joules(now) - prev_energy_;
-  const double d_vms = m.jobs_in_system_integral(now) - prev_vms_integral_;
-  const double d_reli = m.reliability_integral(now) - prev_reli_integral_;
+  const double d_energy = cluster.energy_joules(now) - prev_energy_;
+  const double d_vms = cluster.jobs_in_system_integral(now) - prev_vms_integral_;
+  const double d_reli = cluster.reliability_integral(now) - prev_reli_integral_;
   const double d_chosen_queue =
       cluster.server(prev_action_).queue_integral(now) - prev_chosen_queue_integral_;
   // Each delta is the integral of the corresponding instantaneous signal
@@ -44,7 +43,7 @@ double DrlAllocator::reward_rate_since_prev(const sim::Cluster& cluster, sim::Ti
          tau;
 }
 
-sim::ServerId DrlAllocator::select_server(const sim::Cluster& cluster, const sim::Job& job) {
+sim::ServerId DrlAllocator::select_server(const sim::ClusterView& cluster, const sim::Job& job) {
   const sim::Time now = job.arrival;
   nn::Vec state = encoder_.full_state(cluster, job);
 
@@ -89,10 +88,9 @@ sim::ServerId DrlAllocator::select_server(const sim::Cluster& cluster, const sim
   prev_state_ = std::move(state);
   prev_action_ = action;
   prev_time_ = now;
-  const auto& m = cluster.metrics();
-  prev_energy_ = m.energy_joules(now);
-  prev_vms_integral_ = m.jobs_in_system_integral(now);
-  prev_reli_integral_ = m.reliability_integral(now);
+  prev_energy_ = cluster.energy_joules(now);
+  prev_vms_integral_ = cluster.jobs_in_system_integral(now);
+  prev_reli_integral_ = cluster.reliability_integral(now);
   // Note: sampled before the job is enqueued on the chosen server, which is
   // correct — the enqueue happens after select_server returns.
   prev_chosen_queue_integral_ = cluster.server(action).queue_integral(now);
@@ -111,7 +109,7 @@ void DrlAllocator::maybe_train() {
   }
 }
 
-void DrlAllocator::on_simulation_end(const sim::Cluster& cluster, sim::Time now) {
+void DrlAllocator::on_simulation_end(const sim::ClusterView& cluster, sim::Time now) {
   (void)cluster;
   (void)now;
   end_episode();

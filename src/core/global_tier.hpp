@@ -60,8 +60,8 @@ class DrlAllocator final : public sim::AllocationPolicy {
  public:
   explicit DrlAllocator(const DrlAllocatorOptions& opts);
 
-  sim::ServerId select_server(const sim::Cluster& cluster, const sim::Job& job) override;
-  void on_simulation_end(const sim::Cluster& cluster, sim::Time now) override;
+  sim::ServerId select_server(const sim::ClusterView& cluster, const sim::Job& job) override;
+  void on_simulation_end(const sim::ClusterView& cluster, sim::Time now) override;
   std::string name() const override { return "drl-global-tier"; }
 
   /// Learning on/off: when off, the agent acts greedily and performs no
@@ -98,7 +98,7 @@ class DrlAllocator final : public sim::AllocationPolicy {
 
  private:
   /// Average reward rate over [prev_time_, now] from metric integrals.
-  double reward_rate_since_prev(const sim::Cluster& cluster, sim::Time now, double tau) const;
+  double reward_rate_since_prev(const sim::ClusterView& cluster, sim::Time now, double tau) const;
   void maybe_train();
 
   DrlAllocatorOptions opts_;

@@ -17,6 +17,7 @@
 #include "src/core/global_tier.hpp"
 #include "src/core/local_tier.hpp"
 #include "src/sim/cluster.hpp"
+#include "src/sim/sharded_cluster.hpp"
 
 namespace hcrl::core {
 
@@ -152,27 +153,44 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
   if (policies.drl != nullptr) policies.drl->set_learning(cfg.learn_during_run);
   if (policies.local_rl != nullptr) policies.local_rl->set_learning(cfg.learn_during_run);
 
-  sim::Cluster cluster(cluster_config(cfg), *policies.allocation, *policies.power);
-  cluster.load_jobs(std::move(trace.jobs));
-
   ExperimentResult result;
   result.system = to_string(cfg.system);
   std::size_t next_checkpoint =
       cfg.checkpoint_every_jobs > 0 ? cfg.checkpoint_every_jobs : static_cast<std::size_t>(-1);
-  while (cluster.step()) {
-    if (cluster.metrics().jobs_completed() >= next_checkpoint) {
-      const auto snap = cluster.snapshot();
-      const CheckpointRow row{snap.jobs_completed, snap.now, snap.accumulated_latency_s,
-                              snap.energy_kwh(), snap.average_power_watts};
-      result.series.push_back(row);
-      if (observer != nullptr) observer->on_checkpoint(scenario, row);
-      next_checkpoint += cfg.checkpoint_every_jobs;
+
+  // One loop body for both engines: sim::Cluster (cfg.shards == 0) and
+  // sim::ShardedCluster in lockstep (cfg.shards >= 1). Both expose step(),
+  // jobs_completed(), snapshot() and servers_on() with identical semantics,
+  // and with one shard the sharded engine is bit-identical to the serial one.
+  auto measured_loop = [&](auto& cluster) {
+    while (cluster.step()) {
+      if (cluster.jobs_completed() >= next_checkpoint) {
+        const auto snap = cluster.snapshot();
+        const CheckpointRow row{snap.jobs_completed, snap.now, snap.accumulated_latency_s,
+                                snap.energy_kwh(), snap.average_power_watts};
+        result.series.push_back(row);
+        if (observer != nullptr) observer->on_checkpoint(scenario, row);
+        next_checkpoint += cfg.checkpoint_every_jobs;
+      }
     }
+    result.final_snapshot = cluster.snapshot();
+    result.servers_on_at_end = cluster.servers_on();
+  };
+
+  if (cfg.shards == 0) {
+    sim::Cluster cluster(cluster_config(cfg), *policies.allocation, *policies.power);
+    cluster.load_jobs(std::move(trace.jobs));
+    measured_loop(cluster);
+  } else {
+    sim::ShardedClusterConfig scc;
+    scc.cluster = cluster_config(cfg);
+    scc.num_shards = cfg.shards;
+    sim::ShardedCluster cluster(scc, *policies.allocation, *policies.power);
+    cluster.load_jobs(std::move(trace.jobs));
+    measured_loop(cluster);
   }
 
-  result.final_snapshot = cluster.snapshot();
   result.trace_stats = trace.stats;
-  result.servers_on_at_end = cluster.servers_on();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   if (observer != nullptr) observer->on_complete(scenario, result);

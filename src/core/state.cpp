@@ -44,7 +44,7 @@ void StateEncoder::encode_server(const sim::Server& server, nn::Vec& out) const 
                 std::log1p(opts_.max_queue_feature));
 }
 
-nn::Vec StateEncoder::group_state(const sim::Cluster& cluster, std::size_t group) const {
+nn::Vec StateEncoder::group_state(const sim::ClusterView& cluster, std::size_t group) const {
   if (group >= opts_.num_groups) throw std::out_of_range("StateEncoder: bad group");
   if (cluster.num_servers() != opts_.num_servers) {
     throw std::invalid_argument("StateEncoder: cluster size mismatch");
@@ -67,7 +67,7 @@ nn::Vec StateEncoder::job_state(const sim::Job& job) const {
   return out;
 }
 
-nn::Vec StateEncoder::full_state(const sim::Cluster& cluster, const sim::Job& job) const {
+nn::Vec StateEncoder::full_state(const sim::ClusterView& cluster, const sim::Job& job) const {
   nn::Vec out;
   out.reserve(opts_.full_state_dim());
   for (std::size_t k = 0; k < opts_.num_groups; ++k) {

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "src/nn/matrix.hpp"
-#include "src/sim/cluster.hpp"
+#include "src/sim/cluster_view.hpp"
 
 namespace hcrl::core {
 
@@ -43,11 +43,11 @@ class StateEncoder {
   const StateEncoderOptions& options() const noexcept { return opts_; }
 
   /// State vector g_k of server group k (servers [k*|G|, (k+1)*|G|)).
-  nn::Vec group_state(const sim::Cluster& cluster, std::size_t group) const;
+  nn::Vec group_state(const sim::ClusterView& cluster, std::size_t group) const;
   /// Job feature vector s_j.
   nn::Vec job_state(const sim::Job& job) const;
   /// Full flat state [g_1, ..., g_K, s_j] (used by the monolithic baseline).
-  nn::Vec full_state(const sim::Cluster& cluster, const sim::Job& job) const;
+  nn::Vec full_state(const sim::ClusterView& cluster, const sim::Job& job) const;
 
   /// Group that server `m` belongs to, and its index within the group.
   std::size_t group_of(std::size_t server) const { return server / opts_.group_size(); }

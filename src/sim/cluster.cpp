@@ -1,5 +1,6 @@
 #include "src/sim/cluster.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -31,10 +32,16 @@ Cluster::Cluster(const ClusterConfig& cfg, std::vector<ServerConfig> per_server,
     per_server[i].validate();
     servers_.emplace_back(i, per_server[i], &metrics_);
   }
+  set_server_view({servers_.data(), servers_.size()});
 }
 
 void Cluster::load_jobs(std::vector<Job> jobs) {
   if (jobs_loaded_) throw std::logic_error("Cluster::load_jobs: already loaded");
+  // Arrival events carry the jobs_ index in their JobId-typed `job` field, so
+  // a trace larger than JobId's range would silently alias indices. Fail loud.
+  if (jobs.size() > static_cast<std::size_t>(std::numeric_limits<JobId>::max())) {
+    throw std::invalid_argument("Cluster::load_jobs: trace exceeds JobId index range");
+  }
   std::unordered_set<JobId> ids;
   ids.reserve(jobs.size());
   Time prev = 0.0;
@@ -89,6 +96,11 @@ void Cluster::run() {
 void Cluster::run_until_completed(std::size_t n) {
   while (metrics_.jobs_completed() < n && step()) {
   }
+  // The loop can exit with decisions still staged (the n-th completion may
+  // land mid-epoch). Their outcomes are already fixed — only arrivals feed
+  // the predictors, and none intervened — so committing here preserves the
+  // (time, seq) order a longer run would have produced.
+  if (power_policy_.has_staged_decisions()) power_policy_.flush_decisions();
 }
 
 void Cluster::handle(const Event& e) {
@@ -120,12 +132,18 @@ void Cluster::handle(const Event& e) {
 }
 
 double Cluster::mean_cpu_utilization() const {
+  return metrics_.cpu_used_sum() / static_cast<double>(servers_.size());
+}
+
+std::size_t Cluster::servers_on() const { return metrics_.servers_on(); }
+
+double Cluster::mean_cpu_utilization_scan() const {
   double total = 0.0;
   for (const Server& s : servers_) total += s.utilization(0);
   return total / static_cast<double>(servers_.size());
 }
 
-std::size_t Cluster::servers_on() const {
+std::size_t Cluster::servers_on_scan() const {
   std::size_t n = 0;
   for (const Server& s : servers_) {
     if (s.is_on()) ++n;

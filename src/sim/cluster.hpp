@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/sim/cluster_view.hpp"
 #include "src/sim/event_queue.hpp"
 #include "src/sim/metrics.hpp"
 #include "src/sim/policies.hpp"
@@ -26,7 +27,7 @@ struct ClusterConfig {
   void validate() const;
 };
 
-class Cluster {
+class Cluster final : public ClusterView {
  public:
   /// Policies are borrowed and must outlive the cluster.
   Cluster(const ClusterConfig& cfg, AllocationPolicy& allocation, PowerPolicy& power);
@@ -50,19 +51,30 @@ class Cluster {
   /// Run until at least `n` jobs have completed (or events drain).
   void run_until_completed(std::size_t n);
 
-  Time now() const noexcept { return now_; }
-  std::size_t num_servers() const noexcept { return servers_.size(); }
-  const Server& server(std::size_t i) const { return servers_.at(i); }
+  Time now() const noexcept override { return now_; }
   const std::vector<Job>& jobs() const noexcept { return jobs_; }
 
   ClusterMetrics& metrics() noexcept { return metrics_; }
   const ClusterMetrics& metrics() const noexcept { return metrics_; }
   MetricsSnapshot snapshot() const { return metrics_.snapshot(now_); }
 
-  /// Sum of CPU utilizations across servers divided by M (cluster load).
-  double mean_cpu_utilization() const;
-  /// Number of servers currently powered on (active or idle).
-  std::size_t servers_on() const;
+  // ClusterView aggregate queries, answered from the metrics accumulators.
+  double energy_joules(Time t) const override { return metrics_.energy_joules(t); }
+  double jobs_in_system_integral(Time t) const override {
+    return metrics_.jobs_in_system_integral(t);
+  }
+  double reliability_integral(Time t) const override { return metrics_.reliability_integral(t); }
+  std::size_t jobs_arrived() const noexcept override { return metrics_.jobs_arrived(); }
+  std::size_t jobs_completed() const noexcept override { return metrics_.jobs_completed(); }
+
+  /// Sum of CPU utilizations across servers divided by M (cluster load); O(1).
+  double mean_cpu_utilization() const override;
+  /// Number of servers currently powered on (active or idle); O(1).
+  std::size_t servers_on() const override;
+  /// Brute-force O(M) rescans of the same quantities. Tests pin the
+  /// incremental counters against these; production code should not call them.
+  double mean_cpu_utilization_scan() const;
+  std::size_t servers_on_scan() const;
 
   const ClusterConfig& config() const noexcept { return cfg_; }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
 #include "src/sim/types.hpp"
@@ -49,8 +50,14 @@ class EventQueue {
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t size() const noexcept { return heap_.size(); }
 
-  const Event& top() const { return heap_.top(); }
+  /// Checked: inspecting or popping an empty heap is a driver bug (it was UB
+  /// through std::priority_queue), so both throw instead.
+  const Event& top() const {
+    if (heap_.empty()) throw std::logic_error("EventQueue::top: empty queue");
+    return heap_.top();
+  }
   Event pop() {
+    if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty queue");
     Event e = heap_.top();
     heap_.pop();
     return e;

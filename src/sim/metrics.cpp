@@ -8,7 +8,9 @@ namespace hcrl::sim {
 ClusterMetrics::ClusterMetrics(std::size_t num_servers, bool keep_job_records)
     : keep_job_records_(keep_job_records),
       server_power_(num_servers, 0.0),
-      server_reliability_(num_servers, 0.0) {
+      server_reliability_(num_servers, 0.0),
+      server_on_(num_servers, 0),
+      server_cpu_(num_servers, 0.0) {
   total_power_.set(0.0, 0.0);
   jobs_in_system_.set(0.0, 0.0);
   reliability_.set(0.0, 0.0);
@@ -41,6 +43,18 @@ void ClusterMetrics::on_reliability_change(ServerId server, double new_penalty, 
   const double delta = new_penalty - server_reliability_[server];
   server_reliability_[server] = new_penalty;
   reliability_.set(now, reliability_.current() + delta);
+}
+
+void ClusterMetrics::on_server_status(ServerId server, bool is_on, double cpu_used) {
+  if (server >= server_on_.size()) throw std::out_of_range("metrics: bad server id");
+  if (static_cast<bool>(server_on_[server]) != is_on) {
+    server_on_[server] = is_on ? 1 : 0;
+    servers_on_ += is_on ? 1 : static_cast<std::size_t>(-1);
+  }
+  // Incremental sum: exact when a server returns to a previously-seen load
+  // only up to float rounding; the brute-force-scan pin lives in the tests.
+  cpu_used_sum_ += cpu_used - server_cpu_[server];
+  server_cpu_[server] = cpu_used;
 }
 
 double ClusterMetrics::latency_percentile(double q) const {

@@ -44,6 +44,11 @@ class ClusterMetrics {
   void on_power_change(ServerId server, double new_watts, Time now);
   /// A server's hot-spot (reliability) penalty contribution changed.
   void on_reliability_change(ServerId server, double new_penalty, Time now);
+  /// A server's availability (powered on/off) or CPU utilization changed.
+  /// Maintains the O(1) servers_on / cpu_used_sum aggregates so cluster-wide
+  /// load queries never rescan every server (at 10k-server shards the
+  /// per-checkpoint O(M) scans dominate the metrics path).
+  void on_server_status(ServerId server, bool is_on, double cpu_used);
 
   // -- queries ---------------------------------------------------------------
   double total_power_watts() const noexcept { return total_power_.current(); }
@@ -53,6 +58,12 @@ class ClusterMetrics {
   double reliability_integral(Time now) const { return reliability_.integral(now); }
   std::size_t jobs_arrived() const noexcept { return arrived_; }
   std::size_t jobs_completed() const noexcept { return completed_; }
+  /// Servers currently powered on (active or idle); O(1).
+  std::size_t servers_on() const noexcept { return servers_on_; }
+  /// Sum of per-server CPU utilizations; O(1). Incrementally maintained, so
+  /// it may drift from an exact rescan by float rounding only (pinned to the
+  /// brute-force scan in tests).
+  double cpu_used_sum() const noexcept { return cpu_used_sum_; }
   double accumulated_latency(Time /*unused*/ = 0.0) const noexcept { return latency_sum_; }
   const common::RunningStats& latency_stats() const noexcept { return latency_stats_; }
   const common::RunningStats& wait_stats() const noexcept { return wait_stats_; }
@@ -68,6 +79,10 @@ class ClusterMetrics {
   bool keep_job_records_;
   std::vector<double> server_power_;
   std::vector<double> server_reliability_;
+  std::vector<std::uint8_t> server_on_;
+  std::vector<double> server_cpu_;
+  std::size_t servers_on_ = 0;
+  double cpu_used_sum_ = 0.0;
   common::TimeWeightedValue total_power_;
   common::TimeWeightedValue jobs_in_system_;
   common::TimeWeightedValue reliability_;

@@ -1,24 +1,24 @@
 #include "src/sim/policies.hpp"
 
-#include "src/sim/cluster.hpp"
+#include "src/sim/cluster_view.hpp"
 #include "src/sim/server.hpp"
 
 namespace hcrl::sim {
 
-ServerId RoundRobinAllocator::select_server(const Cluster& cluster, const Job& job) {
+ServerId RoundRobinAllocator::select_server(const ClusterView& cluster, const Job& job) {
   (void)job;
   const ServerId chosen = next_ % cluster.num_servers();
   next_ = (next_ + 1) % cluster.num_servers();
   return chosen;
 }
 
-ServerId RandomAllocator::select_server(const Cluster& cluster, const Job& job) {
+ServerId RandomAllocator::select_server(const ClusterView& cluster, const Job& job) {
   (void)job;
   return static_cast<ServerId>(
       rng_.uniform_int(0, static_cast<std::int64_t>(cluster.num_servers()) - 1));
 }
 
-ServerId LeastLoadedAllocator::select_server(const Cluster& cluster, const Job& job) {
+ServerId LeastLoadedAllocator::select_server(const ClusterView& cluster, const Job& job) {
   (void)job;
   // Prefer the least-utilized awake server; wake a sleeping one only when
   // no awake server can absorb the job without saturating.
@@ -41,7 +41,7 @@ ServerId LeastLoadedAllocator::select_server(const Cluster& cluster, const Job& 
   return best_awake < cluster.num_servers() ? best_awake : 0;
 }
 
-ServerId FirstFitPackingAllocator::select_server(const Cluster& cluster, const Job& job) {
+ServerId FirstFitPackingAllocator::select_server(const ClusterView& cluster, const Job& job) {
   // Choose the *busiest* awake server whose free resources fit the job and
   // whose queue is empty (consolidation without creating waits); fall back
   // to waking the first sleeping server, then to the shortest queue.

@@ -15,7 +15,7 @@
 
 namespace hcrl::sim {
 
-class Cluster;
+class ClusterView;
 class Server;
 
 /// Returned by PowerPolicy::on_idle to keep the server powered on forever.
@@ -26,12 +26,31 @@ class AllocationPolicy {
  public:
   virtual ~AllocationPolicy() = default;
 
+  /// What cluster state select_server actually reads. The sharded engine
+  /// uses this to decide how much synchronization an arrival needs.
+  enum class RoutingMode {
+    /// Reads live cluster state (utilizations, power states, metrics).
+    /// Arrivals are cross-shard sync points: every shard must have drained
+    /// strictly past the arrival time before the decision is made.
+    kGlobalState,
+    /// Depends only on the trace (arrival order) and num_servers — e.g.
+    /// round-robin or seeded-random dispatch. Arrivals can be pre-routed to
+    /// shards at load time and shards run fully independently.
+    kTraceOnly,
+  };
+
   /// Called once per job arrival (= one decision epoch, §V). Must return a
   /// server index in [0, cluster.num_servers()).
-  virtual ServerId select_server(const Cluster& cluster, const Job& job) = 0;
+  virtual ServerId select_server(const ClusterView& cluster, const Job& job) = 0;
 
   /// Called when the simulation finishes (hook for learners to flush).
-  virtual void on_simulation_end(const Cluster& cluster, Time now) { (void)cluster; (void)now; }
+  virtual void on_simulation_end(const ClusterView& cluster, Time now) {
+    (void)cluster;
+    (void)now;
+  }
+
+  /// Conservative default: assume the policy reads global state.
+  virtual RoutingMode routing_mode() const { return RoutingMode::kGlobalState; }
 
   virtual std::string name() const = 0;
 };
@@ -77,6 +96,12 @@ class PowerPolicy {
     (void)server; (void)job; (void)now;
   }
 
+  /// True when the policy keeps no mutable cross-server state, so distinct
+  /// shards may call on_idle()/on_arrival() concurrently from worker threads.
+  /// Policies that stage decisions or share learners must return false (the
+  /// sharded engine then runs them in single-threaded lockstep).
+  virtual bool shard_parallel_safe() const { return false; }
+
   virtual std::string name() const = 0;
 };
 
@@ -85,7 +110,8 @@ class PowerPolicy {
 /// The paper's baseline: dispatch jobs to servers cyclically.
 class RoundRobinAllocator final : public AllocationPolicy {
  public:
-  ServerId select_server(const Cluster& cluster, const Job& job) override;
+  ServerId select_server(const ClusterView& cluster, const Job& job) override;
+  RoutingMode routing_mode() const override { return RoutingMode::kTraceOnly; }
   std::string name() const override { return "round-robin"; }
 
  private:
@@ -96,7 +122,8 @@ class RoundRobinAllocator final : public AllocationPolicy {
 class RandomAllocator final : public AllocationPolicy {
  public:
   explicit RandomAllocator(common::Rng rng) : rng_(rng) {}
-  ServerId select_server(const Cluster& cluster, const Job& job) override;
+  ServerId select_server(const ClusterView& cluster, const Job& job) override;
+  RoutingMode routing_mode() const override { return RoutingMode::kTraceOnly; }
   std::string name() const override { return "random"; }
 
  private:
@@ -107,7 +134,7 @@ class RandomAllocator final : public AllocationPolicy {
 /// wakes a sleeping server only when every awake server is saturated.
 class LeastLoadedAllocator final : public AllocationPolicy {
  public:
-  ServerId select_server(const Cluster& cluster, const Job& job) override;
+  ServerId select_server(const ClusterView& cluster, const Job& job) override;
   std::string name() const override { return "least-loaded"; }
 };
 
@@ -115,7 +142,7 @@ class LeastLoadedAllocator final : public AllocationPolicy {
 /// (greedy consolidation heuristic — a non-learning contrast to the DRL tier).
 class FirstFitPackingAllocator final : public AllocationPolicy {
  public:
-  ServerId select_server(const Cluster& cluster, const Job& job) override;
+  ServerId select_server(const ClusterView& cluster, const Job& job) override;
   std::string name() const override { return "first-fit-packing"; }
 };
 
@@ -125,6 +152,7 @@ class FirstFitPackingAllocator final : public AllocationPolicy {
 class AlwaysOnPolicy final : public PowerPolicy {
  public:
   double on_idle(const Server& server, Time now) override;
+  bool shard_parallel_safe() const override { return true; }
   std::string name() const override { return "always-on"; }
 };
 
@@ -134,6 +162,7 @@ class AlwaysOnPolicy final : public PowerPolicy {
 class ImmediateSleepPolicy final : public PowerPolicy {
  public:
   double on_idle(const Server& server, Time now) override;
+  bool shard_parallel_safe() const override { return true; }
   std::string name() const override { return "immediate-sleep"; }
 };
 
@@ -144,6 +173,7 @@ class FixedTimeoutPolicy final : public PowerPolicy {
     if (timeout_s < 0.0) throw std::invalid_argument("FixedTimeoutPolicy: negative timeout");
   }
   double on_idle(const Server& server, Time now) override;
+  bool shard_parallel_safe() const override { return true; }
   std::string name() const override { return "fixed-timeout-" + std::to_string(timeout_); }
   double timeout() const noexcept { return timeout_; }
 

@@ -42,6 +42,7 @@ Server::Server(ServerId id, const ServerConfig& cfg, ClusterMetrics* metrics)
   queue_len_.set(0.0, 0.0);
   jobs_.set(0.0, 0.0);
   set_power(0.0, initial_watts);
+  if (metrics_ != nullptr) metrics_->on_server_status(id_, is_on(), 0.0);
 }
 
 ResourceVector Server::available() const {
@@ -72,6 +73,9 @@ void Server::refresh_power(Time now) {
   if (metrics_ != nullptr) {
     const double over = std::max(0.0, utilization(0) - cfg_.hotspot_threshold);
     metrics_->on_reliability_change(id_, over * over, now);
+    // Every is_on()/utilization transition funnels through refresh_power, so
+    // reporting here keeps the O(1) cluster aggregates exact per event.
+    metrics_->on_server_status(id_, is_on(), utilization(0));
   }
 }
 

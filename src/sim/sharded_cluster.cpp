@@ -1,0 +1,392 @@
+#include "src/sim/sharded_cluster.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+namespace hcrl::sim {
+
+void ShardedClusterConfig::validate() const {
+  cluster.validate();
+  if (num_shards == 0) throw std::invalid_argument("ShardedClusterConfig: need >= 1 shard");
+  if (num_shards > cluster.num_servers) {
+    throw std::invalid_argument("ShardedClusterConfig: more shards than servers");
+  }
+}
+
+ShardedCluster::ShardedCluster(const ShardedClusterConfig& cfg, AllocationPolicy& allocation,
+                               PowerPolicy& power)
+    : cfg_(cfg), allocation_(allocation), power_policy_(power) {
+  cfg_.validate();
+  if (cfg_.execution == ShardedClusterConfig::Execution::kParallel &&
+      !power_policy_.shard_parallel_safe()) {
+    throw std::invalid_argument("ShardedCluster: power policy '" + power_policy_.name() +
+                                "' is not shard_parallel_safe; use lockstep execution");
+  }
+
+  const std::size_t m = cfg_.cluster.num_servers;
+  const std::size_t n = cfg_.num_shards;
+  shards_.resize(n);
+  owner_.resize(m);
+  // Contiguous block partition; the first (m % n) shards take one extra.
+  const std::size_t base = m / n;
+  const std::size_t rem = m % n;
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    shards_[s].begin = next;
+    next += base + (s < rem ? 1 : 0);
+    shards_[s].end = next;
+    shards_[s].metrics =
+        std::make_unique<ClusterMetrics>(m, cfg_.cluster.keep_job_records);
+    for (std::size_t i = shards_[s].begin; i < shards_[s].end; ++i) owner_[i] = s;
+  }
+
+  servers_.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    servers_.emplace_back(i, cfg_.cluster.server, shards_[owner_[i]].metrics.get());
+  }
+  set_server_view({servers_.data(), servers_.size()});
+}
+
+void ShardedCluster::load_jobs(std::vector<Job> jobs) {
+  if (jobs_loaded_) throw std::logic_error("ShardedCluster::load_jobs: already loaded");
+  if (jobs.size() > static_cast<std::size_t>(std::numeric_limits<JobId>::max())) {
+    throw std::invalid_argument("ShardedCluster::load_jobs: trace exceeds JobId index range");
+  }
+  std::unordered_set<JobId> ids;
+  ids.reserve(jobs.size());
+  Time prev = 0.0;
+  for (const Job& j : jobs) {
+    j.validate(cfg_.cluster.server.num_resources);
+    if (j.arrival < prev) {
+      throw std::invalid_argument("ShardedCluster::load_jobs: not sorted by arrival");
+    }
+    prev = j.arrival;
+    if (!ids.insert(j.id).second) {
+      throw std::invalid_argument("ShardedCluster::load_jobs: duplicate id");
+    }
+  }
+  jobs_ = std::move(jobs);
+  jobs_loaded_ = true;
+
+  if (cfg_.execution == ShardedClusterConfig::Execution::kParallel &&
+      allocation_.routing_mode() == AllocationPolicy::RoutingMode::kTraceOnly) {
+    // Trace-only routing depends on nothing but the arrival order, so every
+    // decision can be made now, in trace order. The arrival event carries the
+    // chosen target in its `server` field and the jobs_ index in `job`;
+    // arrivals are pushed first, so within each shard they hold the smallest
+    // seqs and win every same-time tie — exactly the serial tie-break.
+    pre_routed_ = true;
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      const ServerId target = allocation_.select_server(*this, jobs_[i]);
+      if (target >= servers_.size()) {
+        throw std::logic_error("AllocationPolicy returned invalid server " +
+                               std::to_string(target));
+      }
+      shards_[owner_[target]].queue.push(jobs_[i].arrival, EventType::kJobArrival, target,
+                                         static_cast<JobId>(i));
+    }
+    next_arrival_ = jobs_.size();
+  }
+}
+
+ShardedCluster::MergedTop ShardedCluster::merged_top() const {
+  MergedTop best;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& sh = shards_[s];
+    if (sh.queue.empty()) continue;
+    const Time t = sh.queue.top().time;
+    if (!best.any || t < best.time) {
+      best.any = true;
+      best.time = t;
+      best.shard = s;
+    }
+  }
+  if (next_arrival_ < jobs_.size()) {
+    const Time ta = jobs_[next_arrival_].arrival;
+    // Arrivals win time-ties: in the serial engine they were pushed at load
+    // and own seqs 0..J-1, below every runtime event's seq.
+    if (!best.any || ta <= best.time) {
+      best.any = true;
+      best.is_arrival = true;
+      best.time = ta;
+    }
+  }
+  return best;
+}
+
+bool ShardedCluster::step() {
+  if (cfg_.execution == ShardedClusterConfig::Execution::kParallel) {
+    throw std::logic_error("ShardedCluster::step: parallel mode runs whole windows; use run()");
+  }
+  // Decision-epoch flush barrier, same contract as Cluster::step(): staged
+  // decisions commit before any event that could observe their outcome — a
+  // time advance, any arrival, or queue drain. The flush may push events
+  // earlier than the current merged top, so re-derive it afterwards.
+  MergedTop top = merged_top();
+  if (power_policy_.has_staged_decisions() &&
+      (!top.any || top.time != now_ || top.is_arrival)) {
+    power_policy_.flush_decisions();
+    top = merged_top();
+  }
+  if (!top.any) {
+    if (!finished_notified_) {
+      finished_notified_ = true;
+      allocation_.on_simulation_end(*this, now_);
+    }
+    return false;
+  }
+  if (top.time < now_) throw std::logic_error("ShardedCluster: time went backwards");
+  now_ = top.time;
+  if (top.is_arrival) {
+    const Job& job = jobs_[next_arrival_];
+    ++next_arrival_;
+    deliver_arrival(job);
+  } else {
+    Shard& sh = shards_[top.shard];
+    const Event e = sh.queue.pop();
+    sh.clock = e.time;
+    handle_shard_event(sh, e);
+  }
+  return true;
+}
+
+void ShardedCluster::deliver_arrival(const Job& job) {
+  const ServerId target = allocation_.select_server(*this, job);
+  if (target >= servers_.size()) {
+    throw std::logic_error("AllocationPolicy returned invalid server " + std::to_string(target));
+  }
+  Shard& sh = shards_[owner_[target]];
+  ++sh.events;
+  sh.metrics->on_arrival(job, now_);
+  servers_[target].handle_arrival(job, now_, sh.queue, power_policy_);
+}
+
+void ShardedCluster::handle_shard_event(Shard& sh, const Event& e) {
+  ++sh.events;
+  switch (e.type) {
+    case EventType::kJobArrival: {
+      // Pre-routed arrival: target already chosen at load (e.server).
+      const Job& job = jobs_[static_cast<std::size_t>(e.job)];
+      sh.metrics->on_arrival(job, e.time);
+      servers_[e.server].handle_arrival(job, e.time, sh.queue, power_policy_);
+      break;
+    }
+    case EventType::kJobFinish:
+      servers_[e.server].handle_job_finish(e.job, e.time, sh.queue, power_policy_);
+      break;
+    case EventType::kWakeComplete:
+      servers_[e.server].handle_wake_complete(e.time, sh.queue, power_policy_);
+      break;
+    case EventType::kSleepComplete:
+      servers_[e.server].handle_sleep_complete(e.time, sh.queue, power_policy_);
+      break;
+    case EventType::kIdleTimeout:
+      servers_[e.server].handle_idle_timeout(e.generation, e.time, sh.queue, power_policy_);
+      break;
+  }
+}
+
+void ShardedCluster::drain_shard(std::size_t shard, Time bound) {
+  Shard& sh = shards_[shard];
+  while (!sh.queue.empty() && sh.queue.top().time < bound) {
+    const Event e = sh.queue.pop();
+    if (e.time < sh.clock) throw std::logic_error("ShardedCluster: shard time went backwards");
+    sh.clock = e.time;
+    handle_shard_event(sh, e);
+  }
+}
+
+void ShardedCluster::run() {
+  if (cfg_.execution == ShardedClusterConfig::Execution::kLockstep) {
+    while (step()) {
+    }
+    return;
+  }
+  run_parallel();
+}
+
+void ShardedCluster::run_until_completed(std::size_t n) {
+  if (cfg_.execution == ShardedClusterConfig::Execution::kParallel) {
+    throw std::logic_error("ShardedCluster::run_until_completed: lockstep mode only");
+  }
+  while (jobs_completed() < n && step()) {
+  }
+  if (power_policy_.has_staged_decisions()) power_policy_.flush_decisions();
+}
+
+void ShardedCluster::run_parallel() {
+  constexpr Time kInf = std::numeric_limits<Time>::infinity();
+  const std::size_t n = shards_.size();
+
+  // Window protocol: the coordinator publishes (generation, bound) under the
+  // mutex; each worker drains its shard strictly below `bound` and reports
+  // done. The mutex handshake orders every shard mutation before the
+  // coordinator's cross-shard reads at the barrier (arrival routing sees a
+  // fully quiesced cluster), and vice versa for the next window.
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t generation = 0;
+  Time bound = 0.0;
+  std::size_t done = 0;
+  bool stop = false;
+  std::vector<std::exception_ptr> errors(n);
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    workers.emplace_back([&, s] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        Time b = 0.0;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv_work.wait(lock, [&] { return stop || generation != seen; });
+          if (stop) return;
+          seen = generation;
+          b = bound;
+        }
+        try {
+          drain_shard(s, b);
+        } catch (...) {
+          errors[s] = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ++done;
+        }
+        cv_done.notify_one();
+      }
+    });
+  }
+
+  std::exception_ptr failure;
+  auto open_window = [&](Time b) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      bound = b;
+      done = 0;
+      ++generation;
+    }
+    cv_work.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv_done.wait(lock, [&] { return done == n; });
+    }
+    for (std::exception_ptr& e : errors) {
+      if (e != nullptr && failure == nullptr) failure = std::move(e);
+      e = nullptr;
+    }
+    return failure == nullptr;
+  };
+
+  if (pre_routed_) {
+    // Fully independent shards: one unbounded window, zero barriers.
+    open_window(kInf);
+  } else {
+    while (next_arrival_ < jobs_.size()) {
+      const Time ta = jobs_[next_arrival_].arrival;
+      if (!open_window(ta)) break;  // conservative lookahead: drain below ta
+      now_ = std::max(now_, ta);
+      while (next_arrival_ < jobs_.size() && jobs_[next_arrival_].arrival == ta) {
+        deliver_arrival(jobs_[next_arrival_]);
+        ++next_arrival_;
+      }
+    }
+    if (failure == nullptr) open_window(kInf);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    stop = true;
+  }
+  cv_work.notify_all();
+  for (std::thread& t : workers) t.join();
+  if (failure != nullptr) std::rethrow_exception(failure);
+
+  now_ = end_time();
+  if (!finished_notified_) {
+    finished_notified_ = true;
+    allocation_.on_simulation_end(*this, now_);
+  }
+}
+
+std::uint64_t ShardedCluster::events_processed() const noexcept {
+  std::uint64_t n = 0;
+  for (const Shard& sh : shards_) n += sh.events;
+  return n;
+}
+
+Time ShardedCluster::end_time() const {
+  Time t = now_;
+  for (const Shard& sh : shards_) t = std::max(t, sh.clock);
+  return t;
+}
+
+double ShardedCluster::energy_joules(Time t) const {
+  double e = 0.0;
+  for (const Shard& sh : shards_) e += sh.metrics->energy_joules(t);
+  return e;
+}
+
+double ShardedCluster::jobs_in_system_integral(Time t) const {
+  double v = 0.0;
+  for (const Shard& sh : shards_) v += sh.metrics->jobs_in_system_integral(t);
+  return v;
+}
+
+double ShardedCluster::reliability_integral(Time t) const {
+  double v = 0.0;
+  for (const Shard& sh : shards_) v += sh.metrics->reliability_integral(t);
+  return v;
+}
+
+std::size_t ShardedCluster::jobs_arrived() const noexcept {
+  std::size_t v = 0;
+  for (const Shard& sh : shards_) v += sh.metrics->jobs_arrived();
+  return v;
+}
+
+std::size_t ShardedCluster::jobs_completed() const noexcept {
+  std::size_t v = 0;
+  for (const Shard& sh : shards_) v += sh.metrics->jobs_completed();
+  return v;
+}
+
+double ShardedCluster::mean_cpu_utilization() const {
+  double total = 0.0;
+  for (const Shard& sh : shards_) total += sh.metrics->cpu_used_sum();
+  return total / static_cast<double>(servers_.size());
+}
+
+std::size_t ShardedCluster::servers_on() const {
+  std::size_t v = 0;
+  for (const Shard& sh : shards_) v += sh.metrics->servers_on();
+  return v;
+}
+
+MetricsSnapshot ShardedCluster::snapshot() const {
+  const Time t = end_time();
+  MetricsSnapshot agg;
+  agg.now = t;
+  for (const Shard& sh : shards_) {
+    const MetricsSnapshot s = sh.metrics->snapshot(t);
+    agg.jobs_arrived += s.jobs_arrived;
+    agg.jobs_completed += s.jobs_completed;
+    agg.energy_joules += s.energy_joules;
+    agg.accumulated_latency_s += s.accumulated_latency_s;
+    agg.jobs_in_system += s.jobs_in_system;
+    agg.reliability_penalty += s.reliability_penalty;
+  }
+  agg.average_power_watts = t > 0.0 ? agg.energy_joules / t : 0.0;
+  return agg;
+}
+
+}  // namespace hcrl::sim

@@ -14,7 +14,7 @@ namespace {
 class RandomPolicy final : public sim::AllocationPolicy {
  public:
   explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
-  sim::ServerId select_server(const sim::Cluster& cluster, const sim::Job&) override {
+  sim::ServerId select_server(const sim::ClusterView& cluster, const sim::Job&) override {
     return static_cast<sim::ServerId>(
         rng_.uniform_int(0, static_cast<std::int64_t>(cluster.num_servers()) - 1));
   }

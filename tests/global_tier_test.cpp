@@ -98,7 +98,7 @@ TEST(DrlAllocator, EpsilonDecaysWithEpochs) {
 TEST(DrlAllocator, GuidePolicyIsConsultedDuringExploration) {
   class CountingGuide final : public sim::AllocationPolicy {
    public:
-    sim::ServerId select_server(const sim::Cluster&, const sim::Job&) override {
+    sim::ServerId select_server(const sim::ClusterView&, const sim::Job&) override {
       ++calls;
       return 0;
     }

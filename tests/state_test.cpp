@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/sim/cluster.hpp"
 #include "src/sim/policies.hpp"
 
 namespace hcrl::core {
