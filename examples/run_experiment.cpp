@@ -6,6 +6,7 @@
 //   ./run_experiment --trace my_trace.csv [system]
 //   ./run_experiment --catalog google2011-sample [system]
 //   ./run_experiment --list-scenarios
+//   ./run_experiment --list-policies
 //
 // Config keys are documented in src/core/config_binding.hpp; unknown keys
 // are rejected. --scenario pulls a named scenario from the builtin registry
@@ -26,6 +27,7 @@
 #include "src/core/config_binding.hpp"
 #include "src/core/runner.hpp"
 #include "src/core/scenario.hpp"
+#include "src/policy/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace hcrl;
@@ -36,6 +38,10 @@ int main(int argc, char** argv) {
     for (const auto& name : core::ScenarioRegistry::builtin().names()) {
       std::printf("%s\n", name.c_str());
     }
+    return 0;
+  }
+  if (mode == "--list-policies") {
+    policy::print_policy_listing(std::cout);
     return 0;
   }
 
@@ -75,7 +81,7 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr,
                      "usage: %s <config-file> | --inline \"key = value\" ... | "
-                     "--scenario <name> [jobs] | --list-scenarios\n"
+                     "--scenario <name> [jobs] | --list-scenarios | --list-policies\n"
                      "running built-in demo config instead.\n\n",
                      argv[0]);
         raw = common::Config::from_string(

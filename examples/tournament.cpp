@@ -1,0 +1,155 @@
+// Tournament CLI: run a {policy combo} × {scenario} grid and emit the
+// leaderboard.
+//
+//   ./tournament                                   # default combos × scenarios
+//   ./tournament --combos best-fit+immediate-sleep,tetris+rl-window
+//   ./tournament --scenarios tiny/round-robin,google2011-sample
+//   ./tournament --jobs 1000 --sla 120 --workers 4
+//   ./tournament --out-dir artifacts/              # leaderboard.csv + cells.csv
+//   ./tournament --serial                          # SerialRunner (default: parallel)
+//   ./tournament --no-timing                       # drop wall-clock columns
+//   ./tournament --list-policies | --list-scenarios
+//
+// Combo sugar (see src/policy/tournament.hpp): `random-<k>`,
+// `fixed-timeout-<seconds>`, `rl-<predictor>`. The leaderboard is printed to
+// stdout; --out-dir additionally writes leaderboard.csv and the per-cell
+// cells.csv for CI artifact upload. Every column except wall_seconds /
+// decisions_per_sec is bit-identical between --serial and the parallel
+// default (the runner determinism contract).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/runner.hpp"
+#include "src/core/scenario.hpp"
+#include "src/policy/registry.hpp"
+#include "src/policy/tournament.hpp"
+
+namespace {
+
+using namespace hcrl;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --combos a+b,c+d     policy combos (default: built-in heuristic set)\n"
+               "  --scenarios n1,n2    scenario registry names (default: built-in set)\n"
+               "  --jobs N             trace scale per cell (default 2000)\n"
+               "  --sla SECONDS        SLA latency threshold (default 300; 0 disables)\n"
+               "  --workers N          parallel workers (default: hardware)\n"
+               "  --serial             run cells serially\n"
+               "  --out-dir DIR        write leaderboard.csv and cells.csv into DIR\n"
+               "  --no-timing          omit wall-clock/decisions-per-sec columns\n"
+               "  --list-policies      list registered policies and exit\n"
+               "  --list-scenarios     list scenario registry names and exit\n",
+               argv0);
+  return 1;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  policy::TournamentOptions opts;
+  bool serial = false;
+  bool timing = true;
+  std::size_t workers = 0;
+  std::string out_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--list-policies") {
+        policy::print_policy_listing(std::cout);
+        return 0;
+      } else if (arg == "--list-scenarios") {
+        for (const auto& name : core::ScenarioRegistry::builtin().names()) {
+          std::printf("%s\n", name.c_str());
+        }
+        return 0;
+      } else if (arg == "--combos") {
+        for (const std::string& spec : split_csv(next())) {
+          opts.combos.push_back(policy::combo_from_string(spec));
+        }
+      } else if (arg == "--scenarios") {
+        opts.scenario_names = split_csv(next());
+      } else if (arg == "--jobs") {
+        opts.jobs = static_cast<std::size_t>(std::stoull(next()));
+      } else if (arg == "--sla") {
+        opts.sla_latency_s = std::stod(next());
+      } else if (arg == "--workers") {
+        workers = static_cast<std::size_t>(std::stoull(next()));
+      } else if (arg == "--serial") {
+        serial = true;
+      } else if (arg == "--out-dir") {
+        out_dir = next();
+      } else if (arg == "--no-timing") {
+        timing = false;
+      } else {
+        return usage(argv[0]);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "argument error (%s): %s\n", arg.c_str(), e.what());
+      return 1;
+    }
+  }
+
+  const auto columns = timing ? policy::LeaderboardColumns::kWithTiming
+                              : policy::LeaderboardColumns::kDeterministic;
+  try {
+    core::SerialRunner serial_runner;
+    core::ParallelRunner parallel_runner(workers);
+    core::Runner& runner =
+        serial ? static_cast<core::Runner&>(serial_runner) : parallel_runner;
+    const policy::TournamentResult result = policy::run_tournament(opts, runner);
+
+    std::size_t failed = 0;
+    for (const auto& cell : result.cells) {
+      if (!cell.ok) {
+        ++failed;
+        std::fprintf(stderr, "cell failed: %s | %s: %s\n", cell.scenario.c_str(),
+                     cell.combo.label().c_str(), cell.error.c_str());
+      }
+    }
+
+    policy::write_leaderboard_csv(std::cout, result, columns);
+    if (!out_dir.empty()) {
+      const std::string lb_path = out_dir + "/leaderboard.csv";
+      const std::string cells_path = out_dir + "/cells.csv";
+      std::ofstream lb(lb_path);
+      std::ofstream cells(cells_path);
+      if (!lb || !cells) {
+        std::fprintf(stderr, "cannot write into %s\n", out_dir.c_str());
+        return 1;
+      }
+      policy::write_leaderboard_csv(lb, result, columns);
+      policy::write_cells_csv(cells, result, columns);
+      std::fprintf(stderr, "wrote %s and %s\n", lb_path.c_str(), cells_path.c_str());
+    }
+    std::fprintf(stderr, "%zu cells (%zu failed), %zu combos, %zu scenarios\n",
+                 result.cells.size(), failed, result.combos.size(), result.scenarios.size());
+    return failed == result.cells.size() ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tournament error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -23,11 +23,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "src/common/stats.hpp"
+#include "src/policy/registry.hpp"
 #include "src/core/trace_source.hpp"  // core::infer_horizon_s
 #include "src/workload/generator.hpp"
 #include "src/workload/trace/adapters.hpp"
@@ -48,7 +50,8 @@ int usage(const char* argv0) {
                "  inspect   <trace.csv>\n"
                "  slice     <trace.csv> <out.csv> <start_s> <end_s> [max_jobs]\n"
                "  calibrate <trace.csv> [report.csv]\n"
-               "  catalog\n",
+               "  catalog\n"
+               "  --list-policies\n",
                argv0);
   return 1;
 }
@@ -217,6 +220,10 @@ int main(int argc, char** argv) {
     if (command == "slice") return cmd_slice(argc, argv);
     if (command == "calibrate") return cmd_calibrate(argc, argv);
     if (command == "catalog") return cmd_catalog();
+    if (command == "--list-policies") {
+      policy::print_policy_listing(std::cout);
+      return 0;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

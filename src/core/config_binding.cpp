@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/common/suggest.hpp"
+
 namespace hcrl::core {
 
 SystemKind system_kind_from_string(const std::string& name) {
@@ -11,8 +13,28 @@ SystemKind system_kind_from_string(const std::string& name) {
   if (name == "drl-fixed-timeout") return SystemKind::kDrlFixedTimeout;
   if (name == "least-loaded") return SystemKind::kLeastLoaded;
   if (name == "first-fit-packing") return SystemKind::kFirstFitPacking;
-  throw std::invalid_argument("unknown system kind '" + name + "'");
+  throw std::invalid_argument(common::unknown_key_message(
+      "system kind", name,
+      {"round-robin", "drl-only", "hierarchical", "drl-fixed-timeout", "least-loaded",
+       "first-fit-packing"}));
 }
+
+namespace {
+
+/// Collect `prefix.<key> = value` entries into a per-policy option block
+/// (reading them, so they don't trip the unknown-key check below).
+common::Config option_block(const common::Config& config, const std::string& prefix) {
+  common::Config block;
+  for (const std::string& key : config.keys()) {
+    if (key.size() > prefix.size() + 1 && key.compare(0, prefix.size(), prefix) == 0 &&
+        key[prefix.size()] == '.') {
+      block.set(key.substr(prefix.size() + 1), config.get_string(key));
+    }
+  }
+  return block;
+}
+
+}  // namespace
 
 ExperimentConfig experiment_config_from(const common::Config& config) {
   ExperimentConfig cfg;
@@ -38,6 +60,14 @@ ExperimentConfig experiment_config_from(const common::Config& config) {
   const std::int64_t shards = config.get_int("shards", static_cast<std::int64_t>(cfg.shards));
   if (shards < 0) throw std::invalid_argument("experiment_config_from: shards must be >= 0");
   cfg.shards = static_cast<std::size_t>(shards);
+  cfg.sla_latency_s = config.get_double("sla_latency_s", cfg.sla_latency_s);
+
+  // Registry-backed policy selection (validated in ExperimentConfig::validate
+  // against src/policy/registry.hpp, with did-you-mean diagnostics).
+  cfg.allocator = config.get_string("allocator", cfg.allocator);
+  cfg.power = config.get_string("power", cfg.power);
+  cfg.allocator_opts = option_block(config, "allocator");
+  cfg.power_opts = option_block(config, "power");
 
   // Trace.
   cfg.trace.num_jobs =

@@ -6,6 +6,7 @@
 
 #include "src/core/runner.hpp"
 #include "src/core/scenario.hpp"
+#include "src/policy/registry.hpp"
 
 namespace hcrl::core {
 
@@ -47,6 +48,12 @@ void ExperimentConfig::validate() const {
   if (shards > num_servers) {
     throw std::invalid_argument("ExperimentConfig: more shards than servers");
   }
+  if (sla_latency_s < 0.0) {
+    throw std::invalid_argument("ExperimentConfig: negative sla_latency_s");
+  }
+  // Registry-backed selection: unknown allocator/power/predictor names and
+  // unknown per-policy option keys fail here with did-you-mean diagnostics.
+  policy::validate_system_selection(*this);
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {

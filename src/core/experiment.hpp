@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/config.hpp"
 #include "src/core/global_tier.hpp"
 #include "src/core/local_tier.hpp"
 #include "src/nn/precision.hpp"
@@ -45,6 +46,22 @@ struct ExperimentConfig {
   sim::ServerConfig server;
 
   double fixed_timeout_s = 60.0;  // for kDrlFixedTimeout
+
+  /// Registry-backed policy selection (src/policy/registry.hpp). A non-empty
+  /// `allocator` / `power` names any registered policy and overrides that
+  /// half of the pair implied by `system`; the option blocks carry the
+  /// per-policy keys (config file syntax: `allocator = random-k` +
+  /// `allocator.k = 4`, `power = fixed-timeout` + `power.timeout_s = 45`).
+  /// Empty strings (the default) keep the exact system-enum behaviour, so
+  /// every existing config file is unchanged.
+  std::string allocator;
+  std::string power;
+  common::Config allocator_opts;
+  common::Config power_opts;
+
+  /// Latency SLA threshold in seconds: completed jobs whose latency exceeds
+  /// it count into ExperimentResult::sla_violations. 0 disables the count.
+  double sla_latency_s = 0.0;
 
   DrlAllocatorOptions drl;     // encoder dims are overwritten from the fields above
   LocalPowerManagerOptions local;
@@ -98,11 +115,21 @@ struct CheckpointRow {
 
 struct ExperimentResult {
   std::string system;
+  /// Resolved registry names of the policies that actually ran (equals the
+  /// system-enum pair unless ExperimentConfig::allocator/power overrode it).
+  std::string allocator;
+  std::string power;
   sim::MetricsSnapshot final_snapshot;
   std::vector<CheckpointRow> series;
   workload::TraceStats trace_stats;
   double wall_seconds = 0.0;
   std::size_t servers_on_at_end = 0;
+  /// Tail latency over completed jobs (sorted-merge across shards, so the
+  /// value is engine-independent); 0 when no job completed.
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+  /// Completed jobs with latency > config.sla_latency_s (0 when disabled).
+  std::size_t sla_violations = 0;
 };
 
 /// Run one full experiment (trace generation + optional pretraining +

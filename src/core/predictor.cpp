@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/common/suggest.hpp"
 #include "src/nn/init.hpp"
 #include "src/nn/loss.hpp"
 #include "src/nn/lstm.hpp"
@@ -333,7 +334,12 @@ std::unique_ptr<WorkloadPredictor> make_predictor(const std::string& kind,
   if (kind == "ar") {
     return std::make_unique<ArPredictor>(/*order=*/4, lstm_opts.prior_s);
   }
-  throw std::invalid_argument("make_predictor: unknown kind '" + kind + "'");
+  throw std::invalid_argument(
+      "make_predictor: " + common::unknown_key_message("predictor", kind, predictor_kinds()));
+}
+
+std::vector<std::string> predictor_kinds() {
+  return {"lstm", "last-value", "sliding-mean", "window", "ar"};
 }
 
 }  // namespace hcrl::core

@@ -194,8 +194,12 @@ class LstmPredictor final : public WorkloadPredictor {
 };
 
 /// Factory used by configs ("lstm", "last-value", "sliding-mean", "window",
-/// "ar").
+/// "ar"). Unknown kinds throw with a did-you-mean suggestion over
+/// predictor_kinds().
 std::unique_ptr<WorkloadPredictor> make_predictor(const std::string& kind,
                                                   const LstmPredictorOptions& lstm_opts);
+
+/// Every kind make_predictor accepts, in listing order.
+std::vector<std::string> predictor_kinds();
 
 }  // namespace hcrl::core

@@ -16,6 +16,7 @@
 #include "src/core/decision_service.hpp"
 #include "src/core/global_tier.hpp"
 #include "src/core/local_tier.hpp"
+#include "src/policy/registry.hpp"
 #include "src/sim/cluster.hpp"
 #include "src/sim/sharded_cluster.hpp"
 
@@ -26,60 +27,6 @@ void RunObserver::on_complete(const Scenario&, const ExperimentResult&) {}
 
 namespace {
 
-// ---- system assembly (moved here from experiment.cpp) ----------------------
-
-struct PolicyBundle {
-  std::unique_ptr<sim::AllocationPolicy> allocation;
-  std::unique_ptr<sim::PowerPolicy> power;
-  DrlAllocator* drl = nullptr;          // non-owning view when present
-  RlPowerManager* local_rl = nullptr;   // non-owning view when present
-};
-
-PolicyBundle build_policies(const ExperimentConfig& cfg) {
-  PolicyBundle b;
-  switch (cfg.system) {
-    case SystemKind::kRoundRobin:
-      b.allocation = std::make_unique<sim::RoundRobinAllocator>();
-      b.power = std::make_unique<sim::AlwaysOnPolicy>();
-      break;
-    case SystemKind::kLeastLoaded:
-      b.allocation = std::make_unique<sim::LeastLoadedAllocator>();
-      b.power = std::make_unique<sim::ImmediateSleepPolicy>();
-      break;
-    case SystemKind::kFirstFitPacking:
-      b.allocation = std::make_unique<sim::FirstFitPackingAllocator>();
-      b.power = std::make_unique<sim::ImmediateSleepPolicy>();
-      break;
-    case SystemKind::kDrlOnly: {
-      auto drl = std::make_unique<DrlAllocator>(cfg.drl);
-      drl->set_guide(std::make_unique<sim::FirstFitPackingAllocator>());
-      b.drl = drl.get();
-      b.allocation = std::move(drl);
-      b.power = std::make_unique<sim::ImmediateSleepPolicy>();
-      break;
-    }
-    case SystemKind::kDrlFixedTimeout: {
-      auto drl = std::make_unique<DrlAllocator>(cfg.drl);
-      drl->set_guide(std::make_unique<sim::FirstFitPackingAllocator>());
-      b.drl = drl.get();
-      b.allocation = std::move(drl);
-      b.power = std::make_unique<sim::FixedTimeoutPolicy>(cfg.fixed_timeout_s);
-      break;
-    }
-    case SystemKind::kHierarchical: {
-      auto drl = std::make_unique<DrlAllocator>(cfg.drl);
-      drl->set_guide(std::make_unique<sim::FirstFitPackingAllocator>());
-      b.drl = drl.get();
-      b.allocation = std::move(drl);
-      auto local = std::make_unique<RlPowerManager>(cfg.local);
-      b.local_rl = local.get();
-      b.power = std::move(local);
-      break;
-    }
-  }
-  return b;
-}
-
 sim::ClusterConfig cluster_config(const ExperimentConfig& cfg) {
   sim::ClusterConfig cc;
   cc.num_servers = cfg.num_servers;
@@ -89,6 +36,48 @@ sim::ClusterConfig cluster_config(const ExperimentConfig& cfg) {
 
 void validate_all(const std::vector<Scenario>& scenarios) {
   for (const Scenario& s : scenarios) s.validate();
+}
+
+// ---- tail latency / SLA ----------------------------------------------------
+
+std::vector<double> completed_latencies(const sim::Cluster& cluster) {
+  std::vector<double> latencies;
+  latencies.reserve(cluster.metrics().job_records().size());
+  for (const sim::JobRecord& r : cluster.metrics().job_records()) {
+    latencies.push_back(r.latency());
+  }
+  return latencies;
+}
+
+std::vector<double> completed_latencies(const sim::ShardedCluster& cluster) {
+  std::vector<double> latencies;
+  for (std::size_t s = 0; s < cluster.num_shards(); ++s) {
+    for (const sim::JobRecord& r : cluster.shard_metrics(s).job_records()) {
+      latencies.push_back(r.latency());
+    }
+  }
+  return latencies;
+}
+
+// Same index rule as ClusterMetrics::latency_percentile, computed over the
+// merged shard records so the value is engine-independent (the multiset of
+// latencies is identical across engines; record order is not).
+double percentile_of(std::vector<double>& values, double q) {
+  const auto k = static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(k),
+                   values.end());
+  return values[k];
+}
+
+void fill_tail_metrics(ExperimentResult& result, std::vector<double> latencies,
+                       double sla_latency_s) {
+  if (latencies.empty()) return;
+  if (sla_latency_s > 0.0) {
+    result.sla_violations = static_cast<std::size_t>(std::count_if(
+        latencies.begin(), latencies.end(), [&](double l) { return l > sla_latency_s; }));
+  }
+  result.latency_p95_s = percentile_of(latencies, 0.95);
+  result.latency_p99_s = percentile_of(latencies, 0.99);
 }
 
 /// Serializes observer calls from concurrent workers.
@@ -125,7 +114,9 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
 
   Trace trace = scenario.effective_trace()->produce();
 
-  PolicyBundle policies = build_policies(cfg);
+  // Both tiers come from the policy registry: the config's system enum (or
+  // its allocator/power override keys) name registered entries.
+  policy::SystemBundle policies = policy::build_system(cfg);
 
   // Decision-epoch batching: one service shared by both tiers, alive across
   // the warmup and measured clusters (actions stay bit-identical to the
@@ -155,6 +146,8 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
 
   ExperimentResult result;
   result.system = to_string(cfg.system);
+  result.allocator = policies.allocator_name;
+  result.power = policies.power_name;
   std::size_t next_checkpoint =
       cfg.checkpoint_every_jobs > 0 ? cfg.checkpoint_every_jobs : static_cast<std::size_t>(-1);
 
@@ -175,6 +168,7 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
     }
     result.final_snapshot = cluster.snapshot();
     result.servers_on_at_end = cluster.servers_on();
+    fill_tail_metrics(result, completed_latencies(cluster), cfg.sla_latency_s);
   };
 
   if (cfg.shards == 0) {
@@ -197,15 +191,34 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
   return result;
 }
 
+// ---- Runner ----------------------------------------------------------------
+
+std::vector<ExperimentResult> Runner::run(const std::vector<Scenario>& scenarios,
+                                          RunObserver* observer) {
+  std::vector<ScenarioOutcome> outcomes = run_outcomes(scenarios, observer);
+  std::vector<ExperimentResult> results;
+  results.reserve(outcomes.size());
+  for (ScenarioOutcome& o : outcomes) {
+    if (o.error != nullptr) std::rethrow_exception(o.error);
+    results.push_back(std::move(o.result));
+  }
+  return results;
+}
+
 // ---- SerialRunner ----------------------------------------------------------
 
-std::vector<ExperimentResult> SerialRunner::run(const std::vector<Scenario>& scenarios,
-                                                RunObserver* observer) {
+std::vector<ScenarioOutcome> SerialRunner::run_outcomes(const std::vector<Scenario>& scenarios,
+                                                        RunObserver* observer) {
   validate_all(scenarios);
-  std::vector<ExperimentResult> results;
-  results.reserve(scenarios.size());
-  for (const Scenario& s : scenarios) results.push_back(run_scenario(s, observer));
-  return results;
+  std::vector<ScenarioOutcome> outcomes(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    try {
+      outcomes[i].result = run_scenario(scenarios[i], observer);
+    } catch (...) {
+      outcomes[i].error = std::current_exception();
+    }
+  }
+  return outcomes;
 }
 
 // ---- ParallelRunner --------------------------------------------------------
@@ -216,8 +229,8 @@ ParallelRunner::ParallelRunner(std::size_t num_workers) : num_workers_(num_worke
   }
 }
 
-std::vector<ExperimentResult> ParallelRunner::run(const std::vector<Scenario>& scenarios,
-                                                  RunObserver* observer) {
+std::vector<ScenarioOutcome> ParallelRunner::run_outcomes(const std::vector<Scenario>& scenarios,
+                                                          RunObserver* observer) {
   validate_all(scenarios);
   const std::size_t n = scenarios.size();
   if (n == 0) return {};
@@ -226,8 +239,7 @@ std::vector<ExperimentResult> ParallelRunner::run(const std::vector<Scenario>& s
   if (observer != nullptr) serialized = std::make_unique<SerializedObserver>(*observer);
   RunObserver* worker_observer = serialized.get();
 
-  std::vector<ExperimentResult> results(n);
-  std::vector<std::exception_ptr> errors(n);
+  std::vector<ScenarioOutcome> outcomes(n);
   std::atomic<std::size_t> next{0};
 
   auto worker = [&]() {
@@ -235,9 +247,9 @@ std::vector<ExperimentResult> ParallelRunner::run(const std::vector<Scenario>& s
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        results[i] = run_scenario(scenarios[i], worker_observer);
+        outcomes[i].result = run_scenario(scenarios[i], worker_observer);
       } catch (...) {
-        errors[i] = std::current_exception();
+        outcomes[i].error = std::current_exception();
       }
     }
   };
@@ -247,10 +259,7 @@ std::vector<ExperimentResult> ParallelRunner::run(const std::vector<Scenario>& s
   for (std::size_t t = 0; t < std::min(num_workers_, n); ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
 
-  for (const std::exception_ptr& e : errors) {
-    if (e != nullptr) std::rethrow_exception(e);
-  }
-  return results;
+  return outcomes;
 }
 
 // ---- stock observers -------------------------------------------------------

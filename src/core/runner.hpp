@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <iosfwd>
 #include <vector>
 
@@ -42,18 +43,33 @@ class RunObserver {
 /// checkpoints through `observer`. The building block under every Runner.
 ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer = nullptr);
 
+/// Per-scenario outcome: either a result or the exception that killed the
+/// cell. outcomes[i] always belongs to scenarios[i].
+struct ScenarioOutcome {
+  ExperimentResult result;
+  std::exception_ptr error;  // null on success
+  bool ok() const noexcept { return error == nullptr; }
+};
+
 class Runner {
  public:
   virtual ~Runner() = default;
-  /// Validate every scenario, then run them all. See the contracts above.
-  virtual std::vector<ExperimentResult> run(const std::vector<Scenario>& scenarios,
-                                            RunObserver* observer = nullptr) = 0;
+  /// Validate every scenario, then run them all; a runtime failure in any
+  /// cell is captured into that cell's outcome instead of aborting the batch
+  /// (validation errors still throw up front). The tournament harness runs a
+  /// whole policy × scenario grid through this.
+  virtual std::vector<ScenarioOutcome> run_outcomes(const std::vector<Scenario>& scenarios,
+                                                    RunObserver* observer = nullptr) = 0;
+  /// run_outcomes with the original throwing contract: rethrows the first
+  /// failed cell (in scenario order) after the batch finishes.
+  std::vector<ExperimentResult> run(const std::vector<Scenario>& scenarios,
+                                    RunObserver* observer = nullptr);
 };
 
 class SerialRunner final : public Runner {
  public:
-  std::vector<ExperimentResult> run(const std::vector<Scenario>& scenarios,
-                                    RunObserver* observer = nullptr) override;
+  std::vector<ScenarioOutcome> run_outcomes(const std::vector<Scenario>& scenarios,
+                                            RunObserver* observer = nullptr) override;
 };
 
 /// Worker pool over a shared scenario queue. `num_workers` = 0 uses the
@@ -62,8 +78,8 @@ class ParallelRunner final : public Runner {
  public:
   explicit ParallelRunner(std::size_t num_workers = 0);
 
-  std::vector<ExperimentResult> run(const std::vector<Scenario>& scenarios,
-                                    RunObserver* observer = nullptr) override;
+  std::vector<ScenarioOutcome> run_outcomes(const std::vector<Scenario>& scenarios,
+                                            RunObserver* observer = nullptr) override;
 
   std::size_t num_workers() const noexcept { return num_workers_; }
 

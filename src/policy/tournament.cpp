@@ -1,0 +1,303 @@
+#include "src/policy/tournament.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/csv.hpp"
+#include "src/common/suggest.hpp"
+#include "src/core/predictor.hpp"
+#include "src/policy/registry.hpp"
+
+namespace hcrl::policy {
+
+namespace {
+
+std::string render_side(const std::string& name, const common::Config& opts) {
+  const std::vector<std::string> keys = opts.keys();
+  if (keys.empty()) return name;
+  std::string out = name + "(";
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) out += ';';
+    out += keys[i] + "=" + opts.get_string(keys[i]);
+  }
+  return out + ")";
+}
+
+/// Strict numeric suffix parse for the combo sugar forms.
+bool parse_suffix_double(const std::string& s, double& out) {
+  const auto v = common::parse_csv_double(s);
+  if (!v.has_value()) return false;
+  out = *v;
+  return true;
+}
+
+bool parse_suffix_int(const std::string& s, long long& out) {
+  const auto v = common::parse_csv_int(s);
+  if (!v.has_value()) return false;
+  out = *v;
+  return true;
+}
+
+std::string what_of(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+}  // namespace
+
+std::string PolicyCombo::label() const {
+  return render_side(allocator, allocator_opts) + "+" + render_side(power, power_opts);
+}
+
+PolicyCombo combo_from_string(const std::string& text) {
+  const std::size_t plus = text.find('+');
+  if (plus == std::string::npos || plus == 0 || plus + 1 >= text.size()) {
+    throw std::invalid_argument("combo '" + text +
+                                "' must have the form '<allocator>+<power>' "
+                                "(e.g. best-fit+fixed-timeout-60)");
+  }
+  const std::string lhs = text.substr(0, plus);
+  const std::string rhs = text.substr(plus + 1);
+  const PolicyRegistry& reg = PolicyRegistry::builtin();
+
+  PolicyCombo combo;
+  if (reg.has_allocator(lhs)) {
+    combo.allocator = lhs;
+  } else {
+    long long k = 0;
+    if (lhs.rfind("random-", 0) == 0 && parse_suffix_int(lhs.substr(7), k) && k > 0) {
+      combo.allocator = "random-k";
+      combo.allocator_opts.set("k", lhs.substr(7));  // raw text keeps labels clean
+    } else {
+      throw std::invalid_argument(
+          "combo '" + text + "': " +
+          common::unknown_key_message("allocator", lhs, reg.allocator_names()));
+    }
+  }
+  if (reg.has_power(rhs)) {
+    combo.power = rhs;
+  } else {
+    double timeout = 0.0;
+    const std::vector<std::string> predictors = core::predictor_kinds();
+    if (rhs.rfind("fixed-timeout-", 0) == 0 && parse_suffix_double(rhs.substr(14), timeout) &&
+        timeout >= 0.0) {
+      combo.power = "fixed-timeout";
+      combo.power_opts.set("timeout_s", rhs.substr(14));  // raw text keeps labels clean
+    } else if (rhs.rfind("rl-", 0) == 0 &&
+               std::find(predictors.begin(), predictors.end(), rhs.substr(3)) !=
+                   predictors.end()) {
+      combo.power = "rl-dpm";
+      combo.power_opts.set("predictor", rhs.substr(3));
+    } else {
+      throw std::invalid_argument(
+          "combo '" + text + "': " +
+          common::unknown_key_message("power policy", rhs, reg.power_names()));
+    }
+  }
+  return combo;
+}
+
+std::vector<PolicyCombo> default_combos() {
+  const char* specs[] = {
+      "round-robin+always-on",         // the paper's baseline pairing
+      "round-robin+fixed-timeout-60",  // Fig. 10 style timeout baseline
+      "least-loaded+immediate-sleep",
+      "first-fit-packing+immediate-sleep",
+      "best-fit+immediate-sleep",
+      "worst-fit+immediate-sleep",
+      "tetris+immediate-sleep",
+      "random-3+immediate-sleep",
+      "first-fit-packing+rl-window",  // staged RL local tier coverage
+  };
+  std::vector<PolicyCombo> combos;
+  combos.reserve(std::size(specs));
+  for (const char* s : specs) combos.push_back(combo_from_string(s));
+  return combos;
+}
+
+std::vector<std::string> default_scenario_names() {
+  return {"tiny/round-robin", "google2011-sample", "alibaba2018-sample", "alibaba2018-calibrated"};
+}
+
+TournamentResult run_tournament(const TournamentOptions& opts, core::Runner& runner) {
+  TournamentResult result;
+  result.combos = opts.combos.empty() ? default_combos() : opts.combos;
+
+  // Build each scenario recipe once; combos reuse the instance (and so share
+  // its explicit trace source) via copies.
+  std::vector<core::Scenario> bases;
+  const std::vector<std::string> names =
+      opts.scenario_names.empty() && opts.extra_scenarios.empty() ? default_scenario_names()
+                                                                  : opts.scenario_names;
+  for (const std::string& name : names) {
+    bases.push_back(core::ScenarioRegistry::builtin().make(name, opts.jobs));
+  }
+  for (const core::Scenario& s : opts.extra_scenarios) bases.push_back(s);
+  if (bases.empty()) throw std::invalid_argument("run_tournament: no scenarios");
+  if (result.combos.empty()) throw std::invalid_argument("run_tournament: no combos");
+  for (const core::Scenario& s : bases) result.scenarios.push_back(s.name);
+
+  std::vector<core::Scenario> cells;
+  cells.reserve(result.combos.size() * bases.size());
+  for (const PolicyCombo& combo : result.combos) {
+    for (const core::Scenario& base : bases) {
+      core::Scenario cell = base;
+      cell.name = base.name + "|" + combo.label();
+      cell.config.allocator = combo.allocator;
+      cell.config.allocator_opts = combo.allocator_opts;
+      cell.config.power = combo.power;
+      cell.config.power_opts = combo.power_opts;
+      cell.config.sla_latency_s = opts.sla_latency_s;
+      cells.push_back(std::move(cell));
+    }
+  }
+  // Synthetic cells over identical generator options share one cached trace.
+  core::share_synthetic_traces(cells);
+
+  std::vector<core::ScenarioOutcome> outcomes = runner.run_outcomes(cells);
+
+  result.cells.resize(cells.size());
+  for (std::size_t c = 0; c < result.combos.size(); ++c) {
+    for (std::size_t s = 0; s < bases.size(); ++s) {
+      const std::size_t i = c * bases.size() + s;
+      TournamentCell& cell = result.cells[i];
+      cell.scenario = result.scenarios[s];
+      cell.combo = result.combos[c];
+      if (outcomes[i].ok()) {
+        cell.ok = true;
+        cell.result = std::move(outcomes[i].result);
+        if (cell.result.wall_seconds > 0.0) {
+          cell.decisions_per_sec =
+              static_cast<double>(cell.result.final_snapshot.jobs_completed) /
+              cell.result.wall_seconds;
+        }
+      } else {
+        cell.error = what_of(outcomes[i].error);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<LeaderboardRow> leaderboard(const TournamentResult& result) {
+  const std::size_t num_scenarios = result.scenarios.size();
+  std::vector<LeaderboardRow> rows;
+  rows.reserve(result.combos.size());
+  for (std::size_t c = 0; c < result.combos.size(); ++c) {
+    LeaderboardRow row;
+    row.combo = result.combos[c].label();
+    row.allocator = result.combos[c].allocator;
+    row.power = result.combos[c].power;
+    for (std::size_t s = 0; s < num_scenarios; ++s) {
+      const TournamentCell& cell = result.cells[c * num_scenarios + s];
+      if (!cell.ok) {
+        ++row.scenarios_failed;
+        continue;
+      }
+      ++row.scenarios_ok;
+      row.energy_kwh += cell.result.final_snapshot.energy_kwh();
+      row.latency_p95_s = std::max(row.latency_p95_s, cell.result.latency_p95_s);
+      row.latency_p99_s = std::max(row.latency_p99_s, cell.result.latency_p99_s);
+      row.sla_violations += cell.result.sla_violations;
+      row.jobs_completed += cell.result.final_snapshot.jobs_completed;
+      row.wall_seconds += cell.result.wall_seconds;
+    }
+    if (row.wall_seconds > 0.0) {
+      row.decisions_per_sec = static_cast<double>(row.jobs_completed) / row.wall_seconds;
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const LeaderboardRow& a, const LeaderboardRow& b) {
+    if (a.scenarios_failed != b.scenarios_failed) return a.scenarios_failed < b.scenarios_failed;
+    if (a.energy_kwh != b.energy_kwh) return a.energy_kwh < b.energy_kwh;
+    return a.combo < b.combo;
+  });
+  return rows;
+}
+
+void write_leaderboard_csv(std::ostream& out, const TournamentResult& result,
+                           LeaderboardColumns columns) {
+  common::CsvWriter writer(out);
+  std::vector<std::string> header = {"rank",          "combo",          "allocator",
+                                     "power",         "scenarios_ok",   "scenarios_failed",
+                                     "energy_kwh",    "latency_p95_s",  "latency_p99_s",
+                                     "sla_violations", "jobs_completed"};
+  if (columns == LeaderboardColumns::kWithTiming) {
+    header.push_back("decisions_per_sec");
+    header.push_back("wall_seconds");
+  }
+  writer.write_row(header);
+  const std::vector<LeaderboardRow> rows = leaderboard(result);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const LeaderboardRow& r = rows[i];
+    std::vector<std::string> fields = {std::to_string(i + 1),
+                                       r.combo,
+                                       r.allocator,
+                                       r.power,
+                                       std::to_string(r.scenarios_ok),
+                                       std::to_string(r.scenarios_failed),
+                                       common::format_csv_double(r.energy_kwh),
+                                       common::format_csv_double(r.latency_p95_s),
+                                       common::format_csv_double(r.latency_p99_s),
+                                       std::to_string(r.sla_violations),
+                                       std::to_string(r.jobs_completed)};
+    if (columns == LeaderboardColumns::kWithTiming) {
+      fields.push_back(common::format_csv_double(r.decisions_per_sec));
+      fields.push_back(common::format_csv_double(r.wall_seconds));
+    }
+    writer.write_row(fields);
+  }
+}
+
+void write_cells_csv(std::ostream& out, const TournamentResult& result,
+                     LeaderboardColumns columns) {
+  common::CsvWriter writer(out);
+  std::vector<std::string> header = {"scenario",       "combo",          "allocator",
+                                     "power",          "status",         "error",
+                                     "energy_kwh",     "avg_power_w",    "avg_latency_s",
+                                     "latency_p95_s",  "latency_p99_s",  "sla_violations",
+                                     "jobs_completed"};
+  if (columns == LeaderboardColumns::kWithTiming) {
+    header.push_back("decisions_per_sec");
+    header.push_back("wall_seconds");
+  }
+  writer.write_row(header);
+  for (const TournamentCell& cell : result.cells) {
+    std::vector<std::string> fields = {cell.scenario, cell.combo.label(), cell.combo.allocator,
+                                       cell.combo.power};
+    if (cell.ok) {
+      const auto& snap = cell.result.final_snapshot;
+      fields.push_back("ok");
+      fields.push_back("");
+      fields.push_back(common::format_csv_double(snap.energy_kwh()));
+      fields.push_back(common::format_csv_double(snap.average_power_watts));
+      fields.push_back(common::format_csv_double(snap.average_latency_s()));
+      fields.push_back(common::format_csv_double(cell.result.latency_p95_s));
+      fields.push_back(common::format_csv_double(cell.result.latency_p99_s));
+      fields.push_back(std::to_string(cell.result.sla_violations));
+      fields.push_back(std::to_string(snap.jobs_completed));
+      if (columns == LeaderboardColumns::kWithTiming) {
+        fields.push_back(common::format_csv_double(cell.decisions_per_sec));
+        fields.push_back(common::format_csv_double(cell.result.wall_seconds));
+      }
+    } else {
+      fields.push_back("error");
+      fields.push_back(cell.error);
+      for (int i = 0; i < 7; ++i) fields.push_back("");
+      if (columns == LeaderboardColumns::kWithTiming) {
+        fields.push_back("");
+        fields.push_back("");
+      }
+    }
+    writer.write_row(fields);
+  }
+}
+
+}  // namespace hcrl::policy

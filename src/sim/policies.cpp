@@ -74,6 +74,110 @@ ServerId FirstFitPackingAllocator::select_server(const ClusterView& cluster, con
   return fallback;
 }
 
+namespace {
+
+/// Shared fallback when no awake server can take the job now: wake the first
+/// sleeping server, else join the shortest combined backlog.
+ServerId wake_or_shortest_backlog(const ClusterView& cluster) {
+  for (ServerId i = 0; i < cluster.num_servers(); ++i) {
+    if (cluster.server(i).power_state() == PowerState::kSleep) return i;
+  }
+  ServerId fallback = 0;
+  std::size_t best_backlog = static_cast<std::size_t>(-1);
+  for (ServerId i = 0; i < cluster.num_servers(); ++i) {
+    const std::size_t backlog = cluster.server(i).jobs_on_server();
+    if (backlog < best_backlog) {
+      best_backlog = backlog;
+      fallback = i;
+    }
+  }
+  return fallback;
+}
+
+/// Scan the awake (or waking), empty-queue servers that fit `job` and return
+/// the one with the best score (strictly-greater wins, so ties keep the
+/// lowest id). Returns num_servers when no server qualifies.
+template <class ScoreFn>
+ServerId best_scoring_fit(const ClusterView& cluster, const Job& job, ScoreFn score) {
+  ServerId best = cluster.num_servers();
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (ServerId i = 0; i < cluster.num_servers(); ++i) {
+    const Server& s = cluster.server(i);
+    const bool usable = s.is_on() || s.power_state() == PowerState::kWaking;
+    if (!usable || s.queue_length() > 0) continue;
+    if (!s.available().fits(job.demand)) continue;
+    const double sc = score(s);
+    if (sc > best_score) {
+      best_score = sc;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double total_available(const Server& s) {
+  const ResourceVector avail = s.available();
+  double sum = 0.0;
+  for (std::size_t d = 0; d < avail.dims(); ++d) sum += avail[d];
+  return sum;
+}
+
+}  // namespace
+
+ServerId BestFitAllocator::select_server(const ClusterView& cluster, const Job& job) {
+  const ServerId best = best_scoring_fit(cluster, job, [](const Server& s) {
+    return -total_available(s);  // least leftover = tightest bin
+  });
+  if (best < cluster.num_servers()) return best;
+  return wake_or_shortest_backlog(cluster);
+}
+
+ServerId WorstFitAllocator::select_server(const ClusterView& cluster, const Job& job) {
+  const ServerId best = best_scoring_fit(cluster, job, &total_available);
+  if (best < cluster.num_servers()) return best;
+  return wake_or_shortest_backlog(cluster);
+}
+
+ServerId TetrisAllocator::select_server(const ClusterView& cluster, const Job& job) {
+  const ServerId best = best_scoring_fit(cluster, job, [&job](const Server& s) {
+    const ResourceVector avail = s.available();
+    double dot = 0.0;
+    for (std::size_t d = 0; d < avail.dims() && d < job.demand.dims(); ++d) {
+      dot += avail[d] * job.demand[d];
+    }
+    return dot;
+  });
+  if (best < cluster.num_servers()) return best;
+  return wake_or_shortest_backlog(cluster);
+}
+
+RandomKAllocator::RandomKAllocator(std::size_t k, common::Rng rng) : k_(k), rng_(rng) {
+  if (k == 0) throw std::invalid_argument("RandomKAllocator: k == 0");
+}
+
+ServerId RandomKAllocator::select_server(const ClusterView& cluster, const Job& job) {
+  (void)job;
+  // k independent draws (with replacement — the classic power-of-k-choices
+  // sampler); among the sampled servers prefer the least-loaded usable one.
+  ServerId chosen = cluster.num_servers();
+  double chosen_load = std::numeric_limits<double>::infinity();
+  for (std::size_t draw = 0; draw < k_; ++draw) {
+    const auto i = static_cast<ServerId>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(cluster.num_servers()) - 1));
+    const Server& s = cluster.server(i);
+    const bool usable = s.is_on() || s.power_state() == PowerState::kWaking;
+    // Sleeping samples are admissible (they wake on dispatch) but rank after
+    // any usable sample: charge them the wake as one queued-job equivalent.
+    const double load = s.utilization(0) + static_cast<double>(s.queue_length()) +
+                        (usable ? 0.0 : 1.0 + static_cast<double>(s.jobs_on_server()));
+    if (load < chosen_load) {
+      chosen_load = load;
+      chosen = i;
+    }
+  }
+  return chosen;
+}
+
 double AlwaysOnPolicy::on_idle(const Server& server, Time now) {
   (void)server;
   (void)now;

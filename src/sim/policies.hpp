@@ -146,6 +146,50 @@ class FirstFitPackingAllocator final : public AllocationPolicy {
   std::string name() const override { return "first-fit-packing"; }
 };
 
+/// Classical best-fit: the awake, empty-queue server that fits the job with
+/// the LEAST total capacity left over (tightest bin). Falls back to waking a
+/// sleeping server, then to the shortest backlog.
+class BestFitAllocator final : public AllocationPolicy {
+ public:
+  ServerId select_server(const ClusterView& cluster, const Job& job) override;
+  std::string name() const override { return "best-fit"; }
+};
+
+/// Classical worst-fit: the awake, empty-queue fitting server with the MOST
+/// total capacity left over (load spreading, the anti-consolidation
+/// contrast). Same fallbacks as best-fit.
+class WorstFitAllocator final : public AllocationPolicy {
+ public:
+  ServerId select_server(const ClusterView& cluster, const Job& job) override;
+  std::string name() const override { return "worst-fit"; }
+};
+
+/// Tetris-style multi-resource packing: among awake, empty-queue servers
+/// that fit, maximize the dot product of the job's demand vector and the
+/// server's available-resource vector — placements where the job's shape
+/// aligns with the machine's remaining shape, which packs mixed CPU/mem/disk
+/// demands tighter than any single-dimension rule.
+class TetrisAllocator final : public AllocationPolicy {
+ public:
+  ServerId select_server(const ClusterView& cluster, const Job& job) override;
+  std::string name() const override { return "tetris"; }
+};
+
+/// Power-of-k-choices: sample k servers from the seeded per-policy stream
+/// and dispatch to the least-loaded usable one among them. Reads the sampled
+/// servers' live state, so unlike RandomAllocator it is NOT trace-only.
+class RandomKAllocator final : public AllocationPolicy {
+ public:
+  RandomKAllocator(std::size_t k, common::Rng rng);
+  ServerId select_server(const ClusterView& cluster, const Job& job) override;
+  std::string name() const override { return "random-" + std::to_string(k_); }
+  std::size_t k() const noexcept { return k_; }
+
+ private:
+  std::size_t k_;
+  common::Rng rng_;
+};
+
 // ---- reference power policies ----------------------------------------------
 
 /// Never sleeps. Paired with round-robin this is the paper's baseline.

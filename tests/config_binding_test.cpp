@@ -53,6 +53,40 @@ TEST(ExperimentConfigFrom, HorizonDefaultsToPaperRate) {
   EXPECT_NEAR(cfg.trace.horizon_s, sim::kSecondsPerWeek / 10.0, 1.0);
 }
 
+TEST(ExperimentConfigFrom, PolicySelectionKeysBind) {
+  const auto raw = common::Config::from_string(
+      "allocator = random-k\n"
+      "allocator.k = 2\n"
+      "power = fixed-timeout\n"
+      "power.timeout_s = 45\n"
+      "sla_latency_s = 120\n");
+  const auto cfg = experiment_config_from(raw);
+  EXPECT_EQ(cfg.allocator, "random-k");
+  EXPECT_EQ(cfg.allocator_opts.get_string("k"), "2");
+  EXPECT_EQ(cfg.power, "fixed-timeout");
+  EXPECT_DOUBLE_EQ(cfg.power_opts.get_double("timeout_s"), 45.0);
+  EXPECT_DOUBLE_EQ(cfg.sla_latency_s, 120.0);
+}
+
+TEST(ExperimentConfigFrom, UnknownPolicyOptionKeyRejected) {
+  // Dotted policy options bypass the binder's unused-key audit, but the
+  // registry schema still rejects keys the factory would never read.
+  const auto raw = common::Config::from_string(
+      "allocator = random-k\n"
+      "allocator.kk = 2\n");
+  try {
+    experiment_config_from(raw);
+    FAIL() << "expected unknown-option rejection";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'k'"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ExperimentConfigFrom, NegativeSlaRejected) {
+  const auto raw = common::Config::from_string("sla_latency_s = -5\n");
+  EXPECT_THROW(experiment_config_from(raw), std::invalid_argument);
+}
+
 TEST(ExperimentConfigFrom, UnknownKeysRejected) {
   const auto raw = common::Config::from_string("trace.num_jobs = 100\nnot_a_key = 1\n");
   EXPECT_THROW(experiment_config_from(raw), std::invalid_argument);

@@ -86,6 +86,89 @@ TEST(FirstFitPackingAllocator, PacksOntoBusiestFittingServer) {
   EXPECT_NE(alloc.select_server(c, make_job(3, 2.0, 10.0, 0.6)), 0u);
 }
 
+Job make_shaped_job(JobId id, Time arrival, double cpu, double mem, Time duration = 10000.0) {
+  Job j;
+  j.id = id;
+  j.arrival = arrival;
+  j.duration = duration;
+  j.demand = ResourceVector{cpu, mem, 0.01};
+  return j;
+}
+
+TEST(BestFitAllocator, PicksTightestFittingServer) {
+  RoundRobinAllocator router;
+  BestFitAllocator alloc;
+  AlwaysOnPolicy power;
+  Cluster c(awake_cluster(3), router, power);
+  c.load_jobs({make_job(1, 0.0, 10000.0, 0.5)});
+  c.step();  // round-robin lands the filler on server 0
+  // Server 0 has the least capacity left over -> best fit for a 0.3 job.
+  EXPECT_EQ(alloc.select_server(c, make_job(2, 1.0, 10.0, 0.3)), 0u);
+  // A 0.6 job does not fit on server 0 -> tightest among the rest (tie -> 1).
+  EXPECT_EQ(alloc.select_server(c, make_job(3, 2.0, 10.0, 0.6)), 1u);
+}
+
+TEST(WorstFitAllocator, PicksLoosestFittingServer) {
+  RoundRobinAllocator router;
+  WorstFitAllocator alloc;
+  AlwaysOnPolicy power;
+  Cluster c(awake_cluster(3), router, power);
+  c.load_jobs({make_job(1, 0.0, 10000.0, 0.5)});
+  c.step();  // filler on server 0
+  // Servers 1 and 2 are emptier; the first strictly-loosest wins (server 1).
+  EXPECT_EQ(alloc.select_server(c, make_job(2, 1.0, 10.0, 0.3)), 1u);
+}
+
+TEST(TetrisAllocator, AlignsDemandShapeWithFreeCapacity) {
+  RoundRobinAllocator router;
+  TetrisAllocator alloc;
+  AlwaysOnPolicy power;
+  Cluster c(awake_cluster(2), router, power);
+  // Server 0 keeps a memory-heavy resident (cpu-rich remainder); server 1 a
+  // cpu-heavy resident (memory-rich remainder).
+  c.load_jobs({make_shaped_job(1, 0.0, 0.1, 0.8), make_shaped_job(2, 0.5, 0.8, 0.1)});
+  c.step();
+  c.step();
+  // Both probes fit both servers, so the dot product decides: a cpu-heavy
+  // job aligns with server 0's cpu-rich free capacity...
+  EXPECT_EQ(alloc.select_server(c, make_shaped_job(3, 1.0, 0.15, 0.05, 10.0)), 0u);
+  // ...and a memory-heavy job with server 1's memory-rich free capacity.
+  EXPECT_EQ(alloc.select_server(c, make_shaped_job(4, 2.0, 0.05, 0.15, 10.0)), 1u);
+}
+
+TEST(RandomKAllocator, SeededStreamIsDeterministicAndInRange) {
+  AlwaysOnPolicy power;
+  RoundRobinAllocator router;
+  Cluster c(awake_cluster(5), router, power);
+  RandomKAllocator a(3, common::Rng(99));
+  RandomKAllocator b(3, common::Rng(99));
+  for (int i = 0; i < 50; ++i) {
+    const Job j = make_job(static_cast<JobId>(i + 1), static_cast<Time>(i));
+    const ServerId sa = a.select_server(c, j);
+    ASSERT_LT(sa, 5u);
+    EXPECT_EQ(sa, b.select_server(c, j));
+  }
+}
+
+TEST(RandomKAllocator, RejectsZeroK) {
+  EXPECT_THROW(RandomKAllocator(0, common::Rng(1)), std::invalid_argument);
+}
+
+TEST(NewAllocators, RoutingModeReadsGlobalState) {
+  // All four heuristics read live server state, so they must NOT declare the
+  // trace-only fast path (the sharded engine would skip arrival syncs).
+  BestFitAllocator best;
+  WorstFitAllocator worst;
+  TetrisAllocator tetris;
+  RandomKAllocator rk(2, common::Rng(1));
+  for (const AllocationPolicy* p :
+       {static_cast<const AllocationPolicy*>(&best), static_cast<const AllocationPolicy*>(&worst),
+        static_cast<const AllocationPolicy*>(&tetris),
+        static_cast<const AllocationPolicy*>(&rk)}) {
+    EXPECT_EQ(p->routing_mode(), AllocationPolicy::RoutingMode::kGlobalState);
+  }
+}
+
 TEST(PowerPolicies, TimeoutValues) {
   ClusterMetrics metrics(1);
   ServerConfig cfg;
@@ -118,6 +201,14 @@ TEST(Policies, NamesAreStable) {
   EXPECT_EQ(on.name(), "always-on");
   ImmediateSleepPolicy is;
   EXPECT_EQ(is.name(), "immediate-sleep");
+  BestFitAllocator bf;
+  EXPECT_EQ(bf.name(), "best-fit");
+  WorstFitAllocator wf;
+  EXPECT_EQ(wf.name(), "worst-fit");
+  TetrisAllocator tt;
+  EXPECT_EQ(tt.name(), "tetris");
+  RandomKAllocator rk(4, common::Rng(1));
+  EXPECT_EQ(rk.name(), "random-4");
 }
 
 }  // namespace
