@@ -13,6 +13,7 @@
 #include "src/rl/tabular_q.hpp"
 #include "src/sim/cluster.hpp"
 #include "src/sim/sharded_cluster.hpp"
+#include "src/telemetry/registry.hpp"
 #include "src/workload/generator.hpp"
 
 namespace {
@@ -408,6 +409,55 @@ void BM_ShardedEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(total_events);
 }
 BENCHMARK(BM_ShardedEventThroughput)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_TelemetryCounter(benchmark::State& state) {
+  // Cost of the telemetry::count hot helper, disabled (arg 0: the tax every
+  // instrumentation site pays in a normal run — a relaxed load + branch) and
+  // enabled (arg 1: relaxed fetch_add on the thread's shard slab).
+  const bool on = state.range(0) != 0;
+  telemetry::set_enabled(on);
+  const telemetry::MetricId id = telemetry::global_registry().counter("bench.telemetry_counter");
+  for (auto _ : state) {
+    telemetry::count(id);
+  }
+  telemetry::set_enabled(false);
+  telemetry::global_registry().reset();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TelemetryCounter)->Arg(0)->Arg(1);
+
+void BM_TelemetryShardedEventThroughput(benchmark::State& state) {
+  // BM_ShardedEventThroughput/2 with full metric collection enabled: the
+  // end-to-end telemetry overhead story (per-event counters on the shard
+  // drain hot path plus the flush/sync instrumentation). Compare items/s
+  // against the telemetry-off cell above.
+  workload::GeneratorOptions g;
+  g.num_jobs = 250000;
+  g.horizon_s = 250000.0 * 0.02;
+  g.seed = 11;
+  const auto jobs = workload::GoogleTraceGenerator(g).generate();
+  telemetry::set_enabled(true);
+  std::int64_t total_events = 0;
+  for (auto _ : state) {
+    sim::RoundRobinAllocator alloc;
+    sim::FixedTimeoutPolicy power(30.0);
+    sim::ShardedClusterConfig cfg;
+    cfg.cluster.num_servers = 10000;
+    cfg.cluster.keep_job_records = false;
+    cfg.cluster.server.t_on = 30.0;
+    cfg.cluster.server.t_off = 10.0;
+    cfg.num_shards = 2;
+    cfg.execution = sim::ShardedClusterConfig::Execution::kParallel;
+    sim::ShardedCluster cluster(cfg, alloc, power);
+    cluster.load_jobs(jobs);
+    cluster.run();
+    total_events += static_cast<std::int64_t>(cluster.events_processed());
+  }
+  telemetry::set_enabled(false);
+  telemetry::global_registry().reset();
+  state.SetItemsProcessed(total_events);
+}
+BENCHMARK(BM_TelemetryShardedEventThroughput)->Unit(benchmark::kMillisecond);
 
 void BM_StateEncoding(benchmark::State& state) {
   core::StateEncoderOptions o;

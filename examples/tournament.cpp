@@ -8,6 +8,7 @@
 //   ./tournament --out-dir artifacts/              # leaderboard.csv + cells.csv
 //   ./tournament --serial                          # SerialRunner (default: parallel)
 //   ./tournament --no-timing                       # drop wall-clock columns
+//   ./tournament --metrics-json m.json --chrome-trace t.json  # telemetry
 //   ./tournament --list-policies | --list-scenarios
 //
 // Combo sugar (see src/policy/tournament.hpp): `random-<k>`,
@@ -25,8 +26,11 @@
 
 #include "src/core/runner.hpp"
 #include "src/core/scenario.hpp"
+#include "src/nn/matrix.hpp"
+#include "src/nn/precision.hpp"
 #include "src/policy/registry.hpp"
 #include "src/policy/tournament.hpp"
+#include "src/telemetry/export.hpp"
 
 namespace {
 
@@ -43,6 +47,8 @@ int usage(const char* argv0) {
                "  --serial             run cells serially\n"
                "  --out-dir DIR        write leaderboard.csv and cells.csv into DIR\n"
                "  --no-timing          omit wall-clock/decisions-per-sec columns\n"
+               "  --metrics-json PATH  write an hcrl-metrics-v1 snapshot (+ manifest)\n"
+               "  --chrome-trace PATH  write a chrome://tracing / Perfetto trace\n"
                "  --list-policies      list registered policies and exit\n"
                "  --list-scenarios     list scenario registry names and exit\n",
                argv0);
@@ -67,6 +73,8 @@ int main(int argc, char** argv) {
   bool timing = true;
   std::size_t workers = 0;
   std::string out_dir;
+  std::string metrics_path;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -104,6 +112,10 @@ int main(int argc, char** argv) {
         out_dir = next();
       } else if (arg == "--no-timing") {
         timing = false;
+      } else if (arg == "--metrics-json") {
+        metrics_path = next();
+      } else if (arg == "--chrome-trace") {
+        trace_path = next();
       } else {
         return usage(argv[0]);
       }
@@ -116,11 +128,30 @@ int main(int argc, char** argv) {
   const auto columns = timing ? policy::LeaderboardColumns::kWithTiming
                               : policy::LeaderboardColumns::kDeterministic;
   try {
+    telemetry::CliSession telemetry_session(metrics_path, trace_path);
     core::SerialRunner serial_runner;
     core::ParallelRunner parallel_runner(workers);
     core::Runner& runner =
         serial ? static_cast<core::Runner&>(serial_runner) : parallel_runner;
     const policy::TournamentResult result = policy::run_tournament(opts, runner);
+
+    if (telemetry_session.active()) {
+      telemetry::RunManifest manifest;
+      manifest.tool = "tournament";
+      manifest.scenario = std::to_string(result.cells.size()) + " cells (" +
+                          std::to_string(result.combos.size()) + " combos x " +
+                          std::to_string(result.scenarios.size()) + " scenarios)";
+      manifest.precision = nn::to_string(nn::default_precision());
+      manifest.gemm_threads = static_cast<int>(nn::gemm_threads());
+      double wall = 0.0;
+      for (const auto& cell : result.cells) {
+        if (cell.ok) wall += cell.result.wall_seconds;
+      }
+      manifest.wall_seconds = wall;
+      manifest.extra["jobs_per_cell"] = std::to_string(opts.jobs);
+      manifest.extra["runner"] = serial ? "serial" : "parallel";
+      telemetry_session.finish(manifest);
+    }
 
     std::size_t failed = 0;
     for (const auto& cell : result.cells) {

@@ -1,4 +1,6 @@
-// Tiny leveled logger. Not thread-hot; intended for experiment narration.
+// Tiny leveled logger. Writes are mutex-guarded (one write per line) and
+// tagged with a per-thread id, so concurrent workers never interleave
+// partial lines. Intended for experiment narration, not hot paths.
 #pragma once
 
 #include <sstream>
@@ -12,7 +14,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Thread-safe: takes a process-wide mutex for the single write, and
+/// prefixes the line with the calling thread's tag: `[LEVEL][tag] msg`.
 void log_message(LogLevel level, const std::string& msg);
+
+/// Set the calling thread's log tag (e.g. "shard-3", "runner-1"). The
+/// default tag is "main" for the first thread to log and "t<N>" for later
+/// ones, N assigned in first-log order.
+void set_log_thread_tag(const std::string& tag);
+/// The calling thread's current tag (assigns the default if unset).
+std::string log_thread_tag();
 
 namespace detail {
 class LogLine {

@@ -8,6 +8,40 @@
 
 namespace hcrl::common {
 
+double percentile(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto k = static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(k), values.end());
+  return values[k];
+}
+
+double quantile_from_bins(std::span<const std::uint64_t> bins, std::span<const double> bounds,
+                          double q) {
+  if (bounds.empty() || bins.size() != bounds.size() + 1) {
+    throw std::invalid_argument("quantile_from_bins: bins must have bounds.size() + 1 entries");
+  }
+  std::uint64_t total = 0;
+  for (auto b : bins) total += b;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const double next = cum + static_cast<double>(bins[i]);
+    if (next >= target && bins[i] > 0) {
+      // Edge bins are open-ended; collapse them onto their finite boundary so
+      // the result stays within the configured range.
+      const double lo = i == 0 ? bounds.front() : bounds[i - 1];
+      const double hi = i == bins.size() - 1 ? bounds.back() : bounds[i];
+      const double frac = (target - cum) / static_cast<double>(bins[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return bounds.back();
+}
+
 void RunningStats::add(double x) noexcept {
   ++n_;
   const double delta = x - mean_;

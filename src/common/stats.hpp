@@ -2,11 +2,29 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace hcrl::common {
+
+/// Exact sample percentile with the index rule `k = floor(q * (n - 1))`
+/// (lower-nearest-rank, the convention the tail-metric code has always
+/// used). Partially sorts `values` in place via nth_element; returns 0 for
+/// an empty vector. q is clamped to [0, 1].
+double percentile(std::vector<double>& values, double q);
+
+/// Approximate quantile from fixed-boundary histogram bins, linearly
+/// interpolated inside the selected bin. `bins` has `bounds.size() + 1`
+/// entries: bins[0] counts x < bounds[0], bins[i] counts
+/// bounds[i-1] <= x < bounds[i], and bins.back() counts x >= bounds.back().
+/// The open-ended edge bins interpolate toward their finite boundary.
+/// Returns 0 when the histogram is empty; throws std::invalid_argument on a
+/// size mismatch or empty bounds.
+double quantile_from_bins(std::span<const std::uint64_t> bins, std::span<const double> bounds,
+                          double q);
 
 /// Welford online mean/variance accumulator.
 class RunningStats {

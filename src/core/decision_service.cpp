@@ -5,8 +5,42 @@
 
 #include "src/core/predictor.hpp"
 #include "src/core/qnetwork.hpp"
+#include "src/telemetry/registry.hpp"
 
 namespace hcrl::core {
+
+namespace {
+// Registry mirror of DecisionServiceStats: the service keeps its cheap local
+// struct (unconditional, used by tests and the runner report), and flush()
+// additionally publishes the same deltas here when telemetry is on, so the
+// one snapshot schema covers the decision layer too.
+struct DecisionMetrics {
+  telemetry::MetricId flushes;
+  telemetry::MetricId predict_requests;
+  telemetry::MetricId predict_batches;
+  telemetry::MetricId q_requests;
+  telemetry::MetricId q_batches;
+  telemetry::MetricId epoch_width;
+  telemetry::MetricId max_epoch_width;
+
+  static const DecisionMetrics& get() {
+    static const DecisionMetrics m = [] {
+      auto& reg = telemetry::global_registry();
+      return DecisionMetrics{
+          .flushes = reg.counter("core.decision.flushes"),
+          .predict_requests = reg.counter("core.decision.predict_requests"),
+          .predict_batches = reg.counter("core.decision.predict_batches"),
+          .q_requests = reg.counter("core.decision.q_requests"),
+          .q_batches = reg.counter("core.decision.q_batches"),
+          .epoch_width = reg.histogram("core.decision.epoch_width",
+                                       {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0}),
+          .max_epoch_width = reg.gauge("core.decision.max_epoch_width"),
+      };
+    }();
+    return m;
+  }
+};
+}  // namespace
 
 void DecisionService::begin_epoch_if_needed() {
   if (!flushed_) return;
@@ -40,6 +74,7 @@ void DecisionService::flush() {
   const std::size_t total = predict_reqs_.size() + q_states_.size();
   stats_.max_epoch_requests = std::max(stats_.max_epoch_requests, total);
   if (total > 0) ++stats_.flushes;
+  const std::size_t predict_batches_before = stats_.predict_batches;
 
   // Fuse prediction requests per predictor instance, preserving first-seen
   // order: n requests against one predictor cost one predict_n(n) sweep
@@ -71,6 +106,17 @@ void DecisionService::flush() {
     q_out_.resize_for_overwrite(0, 0);
   }
   flushed_ = true;
+
+  if (total > 0 && telemetry::enabled()) {
+    const DecisionMetrics& m = DecisionMetrics::get();
+    telemetry::count(m.flushes);
+    telemetry::count(m.predict_requests, predict_reqs_.size());
+    telemetry::count(m.predict_batches, stats_.predict_batches - predict_batches_before);
+    telemetry::count(m.q_requests, q_states_.size());
+    if (!q_states_.empty()) telemetry::count(m.q_batches);
+    telemetry::observe(m.epoch_width, static_cast<double>(total));
+    telemetry::gauge_set(m.max_epoch_width, static_cast<double>(stats_.max_epoch_requests));
+  }
 }
 
 void DecisionService::require_flushed(const char* what) const {

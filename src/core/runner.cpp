@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "src/common/log.hpp"
+#include "src/common/stats.hpp"
 #include "src/nn/matrix.hpp"
 #include "src/core/decision_service.hpp"
 #include "src/core/global_tier.hpp"
@@ -19,6 +20,8 @@
 #include "src/policy/registry.hpp"
 #include "src/sim/cluster.hpp"
 #include "src/sim/sharded_cluster.hpp"
+#include "src/telemetry/profiler.hpp"
+#include "src/telemetry/trace.hpp"
 
 namespace hcrl::core {
 
@@ -59,16 +62,6 @@ std::vector<double> completed_latencies(const sim::ShardedCluster& cluster) {
   return latencies;
 }
 
-// Same index rule as ClusterMetrics::latency_percentile, computed over the
-// merged shard records so the value is engine-independent (the multiset of
-// latencies is identical across engines; record order is not).
-double percentile_of(std::vector<double>& values, double q) {
-  const auto k = static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
-  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(k),
-                   values.end());
-  return values[k];
-}
-
 void fill_tail_metrics(ExperimentResult& result, std::vector<double> latencies,
                        double sla_latency_s) {
   if (latencies.empty()) return;
@@ -76,8 +69,47 @@ void fill_tail_metrics(ExperimentResult& result, std::vector<double> latencies,
     result.sla_violations = static_cast<std::size_t>(std::count_if(
         latencies.begin(), latencies.end(), [&](double l) { return l > sla_latency_s; }));
   }
-  result.latency_p95_s = percentile_of(latencies, 0.95);
-  result.latency_p99_s = percentile_of(latencies, 0.99);
+  // common::percentile uses the same index rule as
+  // ClusterMetrics::latency_percentile, computed over the merged shard
+  // records so the value is engine-independent (the multiset of latencies is
+  // identical across engines; record order is not).
+  result.latency_p95_s = common::percentile(latencies, 0.95);
+  result.latency_p99_s = common::percentile(latencies, 0.99);
+}
+
+// ---- telemetry -------------------------------------------------------------
+
+struct RunnerMetrics {
+  telemetry::MetricId scenarios;
+  telemetry::MetricId checkpoints;
+
+  static const RunnerMetrics& get() {
+    static const RunnerMetrics m = [] {
+      auto& reg = telemetry::global_registry();
+      return RunnerMetrics{
+          .scenarios = reg.counter("runner.scenarios"),
+          .checkpoints = reg.counter("runner.checkpoints"),
+      };
+    }();
+    return m;
+  }
+};
+
+const telemetry::SpanDef& scenario_span() {
+  static const telemetry::SpanDef def("runner.scenario");
+  return def;
+}
+const telemetry::SpanDef& trace_load_span() {
+  static const telemetry::SpanDef def("runner.trace_load");
+  return def;
+}
+const telemetry::SpanDef& pretrain_span() {
+  static const telemetry::SpanDef def("runner.pretrain");
+  return def;
+}
+const telemetry::SpanDef& measured_run_span() {
+  static const telemetry::SpanDef def("runner.measured_run");
+  return def;
 }
 
 /// Serializes observer calls from concurrent workers.
@@ -110,9 +142,15 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
   // concurrent scenarios racing on it cannot change any result).
   if (cfg.gemm_threads > 0) nn::set_gemm_threads(cfg.gemm_threads);
 
+  telemetry::Span scenario_guard(scenario_span(), scenario.name);
+  if (telemetry::enabled()) telemetry::count(RunnerMetrics::get().scenarios);
+
   const auto wall_start = std::chrono::steady_clock::now();
 
-  Trace trace = scenario.effective_trace()->produce();
+  Trace trace = [&] {
+    telemetry::Span span(trace_load_span(), scenario.name);
+    return scenario.effective_trace()->produce();
+  }();
 
   // Both tiers come from the policy registry: the config's system enum (or
   // its allocator/power override keys) name registered entries.
@@ -129,6 +167,7 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
 
   // ---- offline construction phase (DRL systems only) -----------------------
   if (policies.drl != nullptr && cfg.pretrain_jobs > 0) {
+    telemetry::Span span(pretrain_span(), scenario.name);
     const std::size_t n = std::min(cfg.pretrain_jobs, trace.jobs.size());
     std::vector<sim::Job> prefix(trace.jobs.begin(),
                                  trace.jobs.begin() + static_cast<std::ptrdiff_t>(n));
@@ -156,6 +195,7 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
   // jobs_completed(), snapshot() and servers_on() with identical semantics,
   // and with one shard the sharded engine is bit-identical to the serial one.
   auto measured_loop = [&](auto& cluster) {
+    telemetry::Span span(measured_run_span(), scenario.name);
     while (cluster.step()) {
       if (cluster.jobs_completed() >= next_checkpoint) {
         const auto snap = cluster.snapshot();
@@ -163,6 +203,7 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
                                 snap.energy_kwh(), snap.average_power_watts};
         result.series.push_back(row);
         if (observer != nullptr) observer->on_checkpoint(scenario, row);
+        if (telemetry::enabled()) telemetry::count(RunnerMetrics::get().checkpoints);
         next_checkpoint += cfg.checkpoint_every_jobs;
       }
     }
@@ -242,7 +283,9 @@ std::vector<ScenarioOutcome> ParallelRunner::run_outcomes(const std::vector<Scen
   std::vector<ScenarioOutcome> outcomes(n);
   std::atomic<std::size_t> next{0};
 
-  auto worker = [&]() {
+  auto worker = [&](std::size_t worker_index) {
+    telemetry::set_thread_name("runner-worker-" + std::to_string(worker_index));
+    telemetry::ShardScope scope(telemetry::global_registry().acquire_shard());
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
@@ -256,7 +299,7 @@ std::vector<ScenarioOutcome> ParallelRunner::run_outcomes(const std::vector<Scen
 
   std::vector<std::thread> pool;
   pool.reserve(std::min(num_workers_, n));
-  for (std::size_t t = 0; t < std::min(num_workers_, n); ++t) pool.emplace_back(worker);
+  for (std::size_t t = 0; t < std::min(num_workers_, n); ++t) pool.emplace_back(worker, t);
   for (std::thread& t : pool) t.join();
 
   return outcomes;

@@ -5,10 +5,74 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/telemetry/registry.hpp"
 #include "src/workload/trace/catalog.hpp"
 #include "src/workload/trace_io.hpp"
 
 namespace hcrl::core {
+
+namespace {
+// Registry absorption of the ad-hoc AdapterReport / NormalizeReport structs:
+// catalog loads publish their ingestion counters here so the one snapshot
+// schema covers the trace layer too (the structs themselves remain the
+// trace_tools / test API).
+struct TraceMetrics {
+  telemetry::MetricId rows_read;
+  telemetry::MetricId rows_malformed;
+  telemetry::MetricId rows_filtered;
+  telemetry::MetricId unmatched_tasks;
+  telemetry::MetricId jobs_emitted;
+  telemetry::MetricId norm_rows_in;
+  telemetry::MetricId norm_rows_out;
+  telemetry::MetricId dropped_invalid;
+  telemetry::MetricId dropped_duplicate;
+  telemetry::MetricId dropped_window;
+  telemetry::MetricId dropped_sampled;
+  telemetry::MetricId clamped_durations;
+  telemetry::MetricId clamped_demands;
+
+  static const TraceMetrics& get() {
+    static const TraceMetrics m = [] {
+      auto& reg = telemetry::global_registry();
+      return TraceMetrics{
+          .rows_read = reg.counter("trace.adapter.rows_read"),
+          .rows_malformed = reg.counter("trace.adapter.rows_malformed"),
+          .rows_filtered = reg.counter("trace.adapter.rows_filtered"),
+          .unmatched_tasks = reg.counter("trace.adapter.unmatched_tasks"),
+          .jobs_emitted = reg.counter("trace.adapter.jobs_emitted"),
+          .norm_rows_in = reg.counter("trace.normalize.rows_in"),
+          .norm_rows_out = reg.counter("trace.normalize.rows_out"),
+          .dropped_invalid = reg.counter("trace.normalize.dropped_invalid"),
+          .dropped_duplicate = reg.counter("trace.normalize.dropped_duplicate"),
+          .dropped_window = reg.counter("trace.normalize.dropped_window"),
+          .dropped_sampled = reg.counter("trace.normalize.dropped_sampled"),
+          .clamped_durations = reg.counter("trace.normalize.clamped_durations"),
+          .clamped_demands = reg.counter("trace.normalize.clamped_demands"),
+      };
+    }();
+    return m;
+  }
+};
+
+void publish_reports(const workload::trace::AdapterReport& adapter,
+                     const workload::trace::NormalizeReport& normalize) {
+  if (!telemetry::enabled()) return;
+  const TraceMetrics& m = TraceMetrics::get();
+  telemetry::count(m.rows_read, adapter.rows_read);
+  telemetry::count(m.rows_malformed, adapter.rows_malformed);
+  telemetry::count(m.rows_filtered, adapter.rows_filtered);
+  telemetry::count(m.unmatched_tasks, adapter.unmatched_tasks);
+  telemetry::count(m.jobs_emitted, adapter.jobs_emitted);
+  telemetry::count(m.norm_rows_in, normalize.rows_in);
+  telemetry::count(m.norm_rows_out, normalize.rows_out);
+  telemetry::count(m.dropped_invalid, normalize.dropped_invalid);
+  telemetry::count(m.dropped_duplicate, normalize.dropped_duplicate);
+  telemetry::count(m.dropped_window, normalize.dropped_window);
+  telemetry::count(m.dropped_sampled, normalize.dropped_sampled);
+  telemetry::count(m.clamped_durations, normalize.clamped_durations);
+  telemetry::count(m.clamped_demands, normalize.clamped_demands);
+}
+}  // namespace
 
 double infer_horizon_s(const std::vector<sim::Job>& jobs) {
   double horizon = 0.0;
@@ -85,7 +149,11 @@ Trace CatalogTraceSource::produce() const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!cache_.has_value()) {
     Trace t;
-    t.jobs = workload::trace::TraceCatalog::builtin().load(dataset_);
+    workload::trace::AdapterReport adapter_report;
+    workload::trace::NormalizeReport normalize_report;
+    t.jobs = workload::trace::TraceCatalog::builtin().load(dataset_, &adapter_report,
+                                                          &normalize_report);
+    publish_reports(adapter_report, normalize_report);
     t.horizon_s = infer_horizon_s(t.jobs);
     t.stats = workload::compute_stats(t.jobs, t.horizon_s);
     cache_ = std::move(t);

@@ -12,6 +12,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "src/telemetry/registry.hpp"
+#include "src/telemetry/trace.hpp"
+
 namespace hcrl::nn {
 
 template <class Scalar>
@@ -463,7 +466,11 @@ class GemmPool {
 
   void ensure_workers(std::size_t count) {
     while (workers_.size() < count) {
-      workers_.emplace_back([this] { worker_loop(); });
+      const std::size_t index = workers_.size();
+      workers_.emplace_back([this, index] {
+        telemetry::set_thread_name("gemm-worker-" + std::to_string(index));
+        worker_loop();
+      });
     }
   }
 
@@ -497,6 +504,24 @@ class GemmPool {
 // wake/join handshake (~ a few microseconds of kernel work per thread).
 constexpr std::size_t kMinMacsPerThread = 32 * 1024;
 
+struct GemmMetrics {
+  telemetry::MetricId calls;
+  telemetry::MetricId macs;
+  telemetry::MetricId threaded_dispatches;
+
+  static const GemmMetrics& get() {
+    static const GemmMetrics m = [] {
+      auto& reg = telemetry::global_registry();
+      return GemmMetrics{
+          .calls = reg.counter("nn.gemm.calls"),
+          .macs = reg.counter("nn.gemm.macs"),
+          .threaded_dispatches = reg.counter("nn.gemm.threaded_dispatches"),
+      };
+    }();
+    return m;
+  }
+};
+
 // Threading driver: row-block the M dimension into one contiguous chunk per
 // worker (aligned to the micro-tile). Each chunk runs the unmodified serial
 // kernel over its row range and every output row keeps its full k reduction
@@ -504,6 +529,11 @@ constexpr std::size_t kMinMacsPerThread = 32 * 1024;
 template <class S>
 void tile_mul(const S* a, const S* bkn, S* c, std::size_t m, std::size_t kk, std::size_t n,
               bool accumulate) {
+  if (telemetry::enabled()) {
+    const GemmMetrics& gm = GemmMetrics::get();
+    telemetry::count(gm.calls);
+    telemetry::count(gm.macs, static_cast<std::uint64_t>(m) * kk * n);
+  }
   const std::size_t threads = gemm_threads();
   if (threads > 1 && m >= 2 * Tile<S>::kM && m * kk * n >= kMinMacsPerThread * 2) {
     const std::size_t want =
@@ -512,6 +542,7 @@ void tile_mul(const S* a, const S* bkn, S* c, std::size_t m, std::size_t kk, std
         ((m + want - 1) / want + Tile<S>::kM - 1) / Tile<S>::kM * Tile<S>::kM;
     const std::size_t nchunks = (m + rows_per - 1) / rows_per;
     if (nchunks > 1) {
+      if (telemetry::enabled()) telemetry::count(GemmMetrics::get().threaded_dispatches);
       GemmPool::instance().run(nchunks, [&](std::size_t chunk) {
         const std::size_t i0 = chunk * rows_per;
         const std::size_t i1 = std::min(i0 + rows_per, m);

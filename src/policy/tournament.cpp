@@ -9,6 +9,7 @@
 #include "src/common/suggest.hpp"
 #include "src/core/predictor.hpp"
 #include "src/policy/registry.hpp"
+#include "src/telemetry/profiler.hpp"
 
 namespace hcrl::policy {
 
@@ -161,7 +162,16 @@ TournamentResult run_tournament(const TournamentOptions& opts, core::Runner& run
   // Synthetic cells over identical generator options share one cached trace.
   core::share_synthetic_traces(cells);
 
-  std::vector<core::ScenarioOutcome> outcomes = runner.run_outcomes(cells);
+  // Per-cell timing comes from run_scenario's "runner.scenario" span (each
+  // cell name embeds the combo label); this span wraps the whole grid.
+  static const telemetry::SpanDef kGridSpan("tournament.grid");
+  if (telemetry::enabled()) {
+    telemetry::count(telemetry::global_registry().counter("tournament.cells"), cells.size());
+  }
+  std::vector<core::ScenarioOutcome> outcomes = [&] {
+    telemetry::Span span(kGridSpan, std::to_string(cells.size()) + " cells");
+    return runner.run_outcomes(cells);
+  }();
 
   result.cells.resize(cells.size());
   for (std::size_t c = 0; c < result.combos.size(); ++c) {

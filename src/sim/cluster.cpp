@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "src/sim/sim_telemetry.hpp"
+
 namespace hcrl::sim {
 
 void ClusterConfig::validate() const {
@@ -72,6 +74,9 @@ bool Cluster::step() {
   if (power_policy_.has_staged_decisions() &&
       (queue_.empty() || queue_.top().time != now_ ||
        queue_.top().type == EventType::kJobArrival)) {
+    count_flush(queue_.empty()                                 ? FlushReason::kDrain
+                : queue_.top().type == EventType::kJobArrival ? FlushReason::kArrival
+                                                              : FlushReason::kTimeAdvance);
     power_policy_.flush_decisions();  // may push events at times >= now_
   }
   if (queue_.empty()) {
@@ -85,6 +90,7 @@ bool Cluster::step() {
   if (e.time < now_) throw std::logic_error("Cluster: time went backwards");
   now_ = e.time;
   handle(e);
+  if (telemetry::enabled()) telemetry::count(SimMetrics::get().events);
   return true;
 }
 
@@ -100,7 +106,10 @@ void Cluster::run_until_completed(std::size_t n) {
   // land mid-epoch). Their outcomes are already fixed — only arrivals feed
   // the predictors, and none intervened — so committing here preserves the
   // (time, seq) order a longer run would have produced.
-  if (power_policy_.has_staged_decisions()) power_policy_.flush_decisions();
+  if (power_policy_.has_staged_decisions()) {
+    count_flush(FlushReason::kForced);
+    power_policy_.flush_decisions();
+  }
 }
 
 void Cluster::handle(const Event& e) {
@@ -114,6 +123,7 @@ void Cluster::handle(const Event& e) {
       }
       metrics_.on_arrival(job, now_);
       servers_[target].handle_arrival(job, now_, queue_, power_policy_);
+      if (telemetry::enabled()) telemetry::count(SimMetrics::get().arrivals);
       break;
     }
     case EventType::kJobFinish:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/common/stats.hpp"
+
 namespace hcrl::sim {
 
 ClusterMetrics::ClusterMetrics(std::size_t num_servers, bool keep_job_records)
@@ -66,10 +68,7 @@ double ClusterMetrics::latency_percentile(double q) const {
   std::vector<double> latencies;
   latencies.reserve(records_.size());
   for (const auto& r : records_) latencies.push_back(r.latency());
-  const auto k = static_cast<std::size_t>(q * static_cast<double>(latencies.size() - 1));
-  std::nth_element(latencies.begin(), latencies.begin() + static_cast<std::ptrdiff_t>(k),
-                   latencies.end());
-  return latencies[k];
+  return common::percentile(latencies, q);
 }
 
 MetricsSnapshot ClusterMetrics::snapshot(Time now) const {

@@ -10,6 +10,10 @@
 #include <thread>
 #include <unordered_set>
 
+#include "src/sim/sim_telemetry.hpp"
+#include "src/telemetry/profiler.hpp"
+#include "src/telemetry/trace.hpp"
+
 namespace hcrl::sim {
 
 void ShardedClusterConfig::validate() const {
@@ -132,6 +136,9 @@ bool ShardedCluster::step() {
   MergedTop top = merged_top();
   if (power_policy_.has_staged_decisions() &&
       (!top.any || top.time != now_ || top.is_arrival)) {
+    count_flush(!top.any            ? FlushReason::kDrain
+                : top.is_arrival   ? FlushReason::kArrival
+                                   : FlushReason::kTimeAdvance);
     power_policy_.flush_decisions();
     top = merged_top();
   }
@@ -164,12 +171,22 @@ void ShardedCluster::deliver_arrival(const Job& job) {
   }
   Shard& sh = shards_[owner_[target]];
   ++sh.events;
+  if (telemetry::enabled()) {
+    const SimMetrics& m = SimMetrics::get();
+    telemetry::count(m.events);
+    telemetry::count(m.arrivals);
+  }
   sh.metrics->on_arrival(job, now_);
   servers_[target].handle_arrival(job, now_, sh.queue, power_policy_);
 }
 
 void ShardedCluster::handle_shard_event(Shard& sh, const Event& e) {
   ++sh.events;
+  if (telemetry::enabled()) {
+    const SimMetrics& m = SimMetrics::get();
+    telemetry::count(m.events);
+    if (e.type == EventType::kJobArrival) telemetry::count(m.arrivals);
+  }
   switch (e.type) {
     case EventType::kJobArrival: {
       // Pre-routed arrival: target already chosen at load (e.server).
@@ -218,7 +235,10 @@ void ShardedCluster::run_until_completed(std::size_t n) {
   }
   while (jobs_completed() < n && step()) {
   }
-  if (power_policy_.has_staged_decisions()) power_policy_.flush_decisions();
+  if (power_policy_.has_staged_decisions()) {
+    count_flush(FlushReason::kForced);
+    power_policy_.flush_decisions();
+  }
 }
 
 void ShardedCluster::run_parallel() {
@@ -241,8 +261,14 @@ void ShardedCluster::run_parallel() {
 
   std::vector<std::thread> workers;
   workers.reserve(n);
+  // Each worker owns one telemetry shard slab (no cross-thread contention on
+  // metric cells) and a named trace track. The span shows each shard's busy
+  // time inside every sync window.
+  static const telemetry::SpanDef kDrainSpan("sim.shard_drain");
   for (std::size_t s = 0; s < n; ++s) {
     workers.emplace_back([&, s] {
+      telemetry::set_thread_name("shard-" + std::to_string(s));
+      telemetry::ShardScope scope(telemetry::global_registry().acquire_shard());
       std::uint64_t seen = 0;
       for (;;) {
         Time b = 0.0;
@@ -254,6 +280,7 @@ void ShardedCluster::run_parallel() {
           b = bound;
         }
         try {
+          telemetry::Span span(kDrainSpan);
           drain_shard(s, b);
         } catch (...) {
           errors[s] = std::current_exception();
@@ -269,6 +296,7 @@ void ShardedCluster::run_parallel() {
 
   std::exception_ptr failure;
   auto open_window = [&](Time b) {
+    if (telemetry::enabled()) telemetry::count(SimMetrics::get().sync_windows);
     {
       std::lock_guard<std::mutex> lock(mu);
       bound = b;

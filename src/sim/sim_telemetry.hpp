@@ -1,0 +1,53 @@
+// Simulation-layer telemetry ids, shared by Cluster and ShardedCluster so
+// both engines report into the same metric names. The structs are magic
+// statics: ids resolve once per process, and the hot helpers in
+// telemetry/registry.hpp are a relaxed load + branch while telemetry is
+// disabled — the engines' determinism contracts are unaffected either way.
+#pragma once
+
+#include "src/telemetry/registry.hpp"
+
+namespace hcrl::sim {
+
+/// Why a decision epoch was flushed (mirrors the barrier conditions in
+/// Cluster::step() / ShardedCluster::step()).
+enum class FlushReason { kDrain, kTimeAdvance, kArrival, kForced };
+
+struct SimMetrics {
+  telemetry::MetricId events;
+  telemetry::MetricId arrivals;
+  telemetry::MetricId sync_windows;
+  telemetry::MetricId flush_drain;
+  telemetry::MetricId flush_time_advance;
+  telemetry::MetricId flush_arrival;
+  telemetry::MetricId flush_forced;
+
+  static const SimMetrics& get() {
+    static const SimMetrics m = [] {
+      auto& reg = telemetry::global_registry();
+      return SimMetrics{
+          .events = reg.counter("sim.events"),
+          .arrivals = reg.counter("sim.arrivals"),
+          .sync_windows = reg.counter("sim.sync_windows"),
+          .flush_drain = reg.counter("sim.epoch_flush.drain"),
+          .flush_time_advance = reg.counter("sim.epoch_flush.time_advance"),
+          .flush_arrival = reg.counter("sim.epoch_flush.arrival"),
+          .flush_forced = reg.counter("sim.epoch_flush.forced"),
+      };
+    }();
+    return m;
+  }
+};
+
+inline void count_flush(FlushReason reason) {
+  if (!telemetry::enabled()) return;
+  const SimMetrics& m = SimMetrics::get();
+  switch (reason) {
+    case FlushReason::kDrain: telemetry::count(m.flush_drain); break;
+    case FlushReason::kTimeAdvance: telemetry::count(m.flush_time_advance); break;
+    case FlushReason::kArrival: telemetry::count(m.flush_arrival); break;
+    case FlushReason::kForced: telemetry::count(m.flush_forced); break;
+  }
+}
+
+}  // namespace hcrl::sim

@@ -1,0 +1,44 @@
+// Minimal JSON emission helpers shared by the telemetry exporters.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace hcrl::telemetry {
+
+/// Escape a string for embedding inside a JSON string literal.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip representation of a double that is still valid JSON
+/// (no bare NaN/Inf — those become null).
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace hcrl::telemetry

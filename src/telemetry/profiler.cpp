@@ -1,0 +1,31 @@
+#include "src/telemetry/profiler.hpp"
+
+#include "src/telemetry/trace.hpp"
+
+namespace hcrl::telemetry {
+
+const std::vector<double>& duration_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double decade = 1e-6; decade < 1e3; decade *= 10.0) {
+      b.push_back(decade);
+      b.push_back(2.0 * decade);
+      b.push_back(5.0 * decade);
+    }
+    b.resize(b.size() - 2);  // stop at 1e2 s
+    return b;
+  }();
+  return bounds;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(end - start_).count();
+  global_registry().observe(current_shard(), def_->hist, seconds);
+  if (TraceCollector* collector = TraceCollector::current()) {
+    collector->record(def_->name, label_, start_, end);
+  }
+}
+
+}  // namespace hcrl::telemetry

@@ -1,0 +1,129 @@
+#include "src/telemetry/trace.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "src/common/log.hpp"
+#include "src/telemetry/json_util.hpp"
+
+namespace hcrl::telemetry {
+
+namespace {
+
+std::atomic<TraceCollector*> g_collector{nullptr};
+std::atomic<std::uint64_t> g_next_collector_id{1};
+
+// The calling thread's registration with a specific collector. A collector
+// id mismatch (collector replaced or destroyed) invalidates the pointer.
+struct ThreadSlot {
+  std::uint64_t collector_id = 0;
+  void* buffer = nullptr;
+};
+thread_local ThreadSlot t_slot;
+thread_local std::string t_thread_name;
+
+}  // namespace
+
+TraceCollector::TraceCollector()
+    : id_(g_next_collector_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceCollector::~TraceCollector() { uninstall(); }
+
+void TraceCollector::install() {
+  TraceCollector* expected = nullptr;
+  if (!g_collector.compare_exchange_strong(expected, this, std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+    if (expected == this) return;
+    throw std::logic_error("TraceCollector: another collector is already installed");
+  }
+}
+
+void TraceCollector::uninstall() noexcept {
+  TraceCollector* expected = this;
+  g_collector.compare_exchange_strong(expected, nullptr, std::memory_order_release,
+                                      std::memory_order_relaxed);
+}
+
+bool TraceCollector::installed() const noexcept {
+  return g_collector.load(std::memory_order_relaxed) == this;
+}
+
+TraceCollector* TraceCollector::current() noexcept {
+  return g_collector.load(std::memory_order_acquire);
+}
+
+TraceCollector::ThreadBuffer& TraceCollector::buffer_for_this_thread() {
+  if (t_slot.collector_id == id_ && t_slot.buffer != nullptr) {
+    return *static_cast<ThreadBuffer*>(t_slot.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer& buf = *buffers_.back();
+  buf.thread_name =
+      t_thread_name.empty() ? "thread-" + std::to_string(buffers_.size() - 1) : t_thread_name;
+  t_slot.collector_id = id_;
+  t_slot.buffer = &buf;
+  return buf;
+}
+
+void TraceCollector::record(const char* name, const std::string& label,
+                            std::chrono::steady_clock::time_point start,
+                            std::chrono::steady_clock::time_point end) {
+  using std::chrono::duration_cast;
+  using std::chrono::microseconds;
+  ThreadBuffer& buf = buffer_for_this_thread();
+  Event ev;
+  ev.name = name;
+  ev.label = label;
+  ev.ts_us = duration_cast<microseconds>(start - epoch_).count();
+  ev.dur_us = duration_cast<microseconds>(end - start).count();
+  buf.events.push_back(std::move(ev));
+}
+
+void TraceCollector::name_thread(const std::string& name) {
+  buffer_for_this_thread().thread_name = name;
+}
+
+void TraceCollector::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << obj;
+  };
+  emit(R"({"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"hcrl"}})");
+  for (std::size_t tid = 0; tid < buffers_.size(); ++tid) {
+    emit(R"({"name":"thread_name","ph":"M","pid":0,"tid":)" + std::to_string(tid) +
+         R"(,"args":{"name":")" + json_escape(buffers_[tid]->thread_name) + R"("}})");
+  }
+  for (std::size_t tid = 0; tid < buffers_.size(); ++tid) {
+    for (const Event& ev : buffers_[tid]->events) {
+      std::string obj = R"({"name":")" + json_escape(ev.name) +
+                        R"(","cat":"hcrl","ph":"X","pid":0,"tid":)" + std::to_string(tid) +
+                        R"(,"ts":)" + std::to_string(ev.ts_us) + R"(,"dur":)" +
+                        std::to_string(ev.dur_us);
+      if (!ev.label.empty()) obj += R"(,"args":{"label":")" + json_escape(ev.label) + R"("})";
+      obj += "}";
+      emit(obj);
+    }
+  }
+  os << "\n]}\n";
+}
+
+std::size_t TraceCollector::num_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) n += buf->events.size();
+  return n;
+}
+
+void set_thread_name(const std::string& name) {
+  t_thread_name = name;
+  common::set_log_thread_tag(name);
+  if (TraceCollector* c = TraceCollector::current()) c->name_thread(name);
+}
+
+}  // namespace hcrl::telemetry

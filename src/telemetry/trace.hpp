@@ -1,0 +1,87 @@
+// Chrome trace-event collector: per-thread timeline tracks for RAII spans,
+// exported as chrome://tracing / Perfetto-compatible JSON.
+//
+// Usage: construct a TraceCollector, install() it (one at a time,
+// process-wide), run the instrumented workload, uninstall(), then
+// write_json(). Spans (src/telemetry/profiler.hpp) record into the installed
+// collector automatically; each recording thread gets its own track (tid),
+// named via set_thread_name().
+//
+// Thread safety: track registration takes the collector mutex once per
+// thread; subsequent appends are single-writer on the thread's own buffer.
+// Buffers carry the owning collector's unique id, so a stale thread_local
+// pointer from a destroyed collector (persistent pool workers outlive
+// collectors) is detected and re-registered instead of dereferenced.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hcrl::telemetry {
+
+class TraceCollector {
+ public:
+  TraceCollector();
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Make this the process-wide collector spans record into. Throws
+  /// std::logic_error if another collector is currently installed.
+  void install();
+  /// Stop collecting (no-op if not installed). Spans that already loaded
+  /// the collector pointer may still append; call this only when the
+  /// instrumented workload has quiesced (runners joined).
+  void uninstall() noexcept;
+  bool installed() const noexcept;
+
+  /// The installed collector, or nullptr. Hot path: one relaxed load.
+  static TraceCollector* current() noexcept;
+
+  /// Append one complete ("ph":"X") event on the calling thread's track.
+  /// Called by Span's destructor; `label` (optional) lands in args.label.
+  void record(const char* name, const std::string& label,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end);
+
+  /// Name the calling thread's track in this collector (idempotent).
+  void name_thread(const std::string& name);
+
+  /// Emit `{"traceEvents":[...]}` — metadata (process_name/thread_name)
+  /// events first, then every span event. Tracks are numbered in thread
+  /// registration order, so output is deterministic for a serial run.
+  void write_json(std::ostream& os) const;
+
+  std::size_t num_events() const;
+
+ private:
+  struct Event {
+    const char* name;
+    std::string label;
+    std::int64_t ts_us;
+    std::int64_t dur_us;
+  };
+  struct ThreadBuffer {
+    std::string thread_name;
+    std::vector<Event> events;
+  };
+
+  ThreadBuffer& buffer_for_this_thread();
+
+  std::uint64_t id_;  // process-unique, for stale-TLS detection
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// Set the calling thread's human-readable name for telemetry: names the
+/// thread's track in the installed collector (if any) and sets the logger
+/// thread tag (common::set_log_thread_tag) to match.
+void set_thread_name(const std::string& name);
+
+}  // namespace hcrl::telemetry

@@ -3,11 +3,53 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
 namespace hcrl::common {
 namespace {
+
+TEST(Percentile, EmptyAndSingle) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(percentile(empty, 0.95), 0.0);
+  std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 7.0);
+}
+
+TEST(Percentile, NearestRankOnKnownData) {
+  // percentile() selects element floor(q * (n-1)) — the convention the
+  // runner's latency_p95_s / latency_p99_s tail metrics are defined by.
+  std::vector<double> xs = {9.0, 1.0, 8.0, 2.0, 7.0, 3.0, 6.0, 4.0, 5.0, 0.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 4.0);   // floor(0.5 * 9) = 4
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.95), 8.0);  // floor(0.95 * 9) = 8
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 9.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 7.0), 9.0);  // out-of-range q clamps
+}
+
+TEST(QuantileFromBins, RequiresMatchingShapes) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  const std::vector<std::uint64_t> bad = {1, 2};  // needs bounds.size() + 1
+  EXPECT_THROW(quantile_from_bins(bad, bounds, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile_from_bins(bad, {}, 0.5), std::invalid_argument);
+}
+
+TEST(QuantileFromBins, EmptyAndInterpolation) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  const std::vector<std::uint64_t> empty = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(quantile_from_bins(empty, bounds, 0.5), 0.0);
+
+  const std::vector<std::uint64_t> bins = {0, 8, 0, 2};
+  // p50: target 5 of 10 lands in [1,2) at fraction 5/8.
+  EXPECT_DOUBLE_EQ(quantile_from_bins(bins, bounds, 0.5), 1.0 + 5.0 / 8.0);
+  // p95 lands in the overflow bin, which collapses onto bounds.back().
+  EXPECT_DOUBLE_EQ(quantile_from_bins(bins, bounds, 0.95), 4.0);
+  // Underflow samples likewise collapse onto bounds.front().
+  const std::vector<std::uint64_t> under = {4, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(quantile_from_bins(under, bounds, 0.5), 1.0);
+}
 
 TEST(RunningStats, EmptyIsZero) {
   RunningStats s;
