@@ -127,48 +127,58 @@ int main(int argc, char** argv) {
     }
     scenario.validate();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "config error: %s\n", e.what());
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
 
-  telemetry::CliSession telemetry_session(metrics_path, trace_path);
+  // Everything past argument handling runs under one catch: a runtime
+  // failure (trace I/O, simulation invariant, telemetry write) prints
+  // `error: <what>` and exits 1 instead of std::terminate'ing.
+  try {
+    telemetry::CliSession telemetry_session(metrics_path, trace_path);
 
-  std::optional<core::CsvCheckpointObserver> csv;
-  if (scenario.materialized().checkpoint_every_jobs > 0) csv.emplace(std::cout);
-  core::SerialRunner runner;
-  const auto results = runner.run({scenario}, csv.has_value() ? &*csv : nullptr);
-  const core::ExperimentResult& r = results.front();
+    std::optional<core::CsvCheckpointObserver> csv;
+    if (scenario.materialized().checkpoint_every_jobs > 0) csv.emplace(std::cout);
+    core::SerialRunner runner;
+    const auto results = runner.run({scenario}, csv.has_value() ? &*csv : nullptr);
+    const core::ExperimentResult& r = results.front();
 
-  if (telemetry_session.active()) {
-    const core::ExperimentConfig cfg = scenario.materialized();
-    telemetry::RunManifest manifest;
-    manifest.tool = "run_experiment";
-    manifest.scenario = scenario.name;
-    manifest.precision = nn::to_string(cfg.precision);
-    manifest.shards = static_cast<int>(cfg.shards);
-    manifest.gemm_threads = static_cast<int>(cfg.gemm_threads > 0 ? cfg.gemm_threads
-                                                                  : nn::gemm_threads());
-    manifest.wall_seconds = r.wall_seconds;
-    manifest.extra["system"] = r.system;
-    manifest.extra["allocator"] = r.allocator;
-    manifest.extra["power"] = r.power;
-    try {
+    if (telemetry_session.active()) {
+      const core::ExperimentConfig cfg = scenario.materialized();
+      telemetry::RunManifest manifest;
+      manifest.tool = "run_experiment";
+      manifest.scenario = scenario.name;
+      manifest.precision = nn::to_string(cfg.precision);
+      manifest.shards = static_cast<int>(cfg.shards);
+      manifest.gemm_threads = static_cast<int>(cfg.gemm_threads > 0 ? cfg.gemm_threads
+                                                                    : nn::gemm_threads());
+      manifest.wall_seconds = r.wall_seconds;
+      manifest.extra["system"] = r.system;
+      manifest.extra["allocator"] = r.allocator;
+      manifest.extra["power"] = r.power;
       telemetry_session.finish(manifest);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "telemetry error: %s\n", e.what());
-      return 1;
     }
-  }
 
-  const auto& s = r.final_snapshot;
-  std::printf("\nscenario:          %s\n", scenario.name.c_str());
-  std::printf("system:            %s\n", r.system.c_str());
-  std::printf("trace:             %s\n", r.trace_stats.to_string().c_str());
-  std::printf("jobs completed:    %zu\n", s.jobs_completed);
-  std::printf("energy:            %.2f kWh\n", s.energy_kwh());
-  std::printf("acc. latency:      %.3fe6 s (%.1f s/job)\n", s.accumulated_latency_s / 1e6,
-              s.average_latency_s());
-  std::printf("average power:     %.1f W\n", s.average_power_watts);
-  std::printf("wall time:         %.1f s\n", r.wall_seconds);
+    const auto& s = r.final_snapshot;
+    std::printf("\nscenario:          %s\n", scenario.name.c_str());
+    std::printf("system:            %s\n", r.system.c_str());
+    std::printf("trace:             %s\n", r.trace_stats.to_string().c_str());
+    std::printf("jobs completed:    %zu\n", s.jobs_completed);
+    std::printf("energy:            %.2f kWh\n", s.energy_kwh());
+    std::printf("acc. latency:      %.3fe6 s (%.1f s/job)\n", s.accumulated_latency_s / 1e6,
+                s.average_latency_s());
+    std::printf("average power:     %.1f W\n", s.average_power_watts);
+    if (scenario.materialized().faults.enabled()) {
+      const auto& f = s.faults;
+      std::printf("faults:            %zu crashes, %zu evictions, %zu retries, %zu lost "
+                  "(%.1f CPU-s lost, MTTR %.1f s)\n",
+                  f.crashes, f.evictions, f.retries, f.jobs_lost, f.lost_cpu_seconds,
+                  f.mttr_s());
+    }
+    std::printf("wall time:         %.1f s\n", r.wall_seconds);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   return 0;
 }

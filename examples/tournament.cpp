@@ -47,6 +47,10 @@ int usage(const char* argv0) {
                "  --serial             run cells serially\n"
                "  --out-dir DIR        write leaderboard.csv and cells.csv into DIR\n"
                "  --no-timing          omit wall-clock/decisions-per-sec columns\n"
+               "  --watchdog SECONDS   per-cell wall-clock deadline (0 disables); a cell\n"
+               "                       exceeding it becomes a per-cell error outcome\n"
+               "  --journal PATH       crash-safe resume journal: finished cells append\n"
+               "                       here and are skipped (byte-identically) on rerun\n"
                "  --metrics-json PATH  write an hcrl-metrics-v1 snapshot (+ manifest)\n"
                "  --chrome-trace PATH  write a chrome://tracing / Perfetto trace\n"
                "  --list-policies      list registered policies and exit\n"
@@ -104,6 +108,10 @@ int main(int argc, char** argv) {
         opts.jobs = static_cast<std::size_t>(std::stoull(next()));
       } else if (arg == "--sla") {
         opts.sla_latency_s = std::stod(next());
+      } else if (arg == "--watchdog") {
+        opts.watchdog_s = std::stod(next());
+      } else if (arg == "--journal") {
+        opts.journal_path = next();
       } else if (arg == "--workers") {
         workers = static_cast<std::size_t>(std::stoull(next()));
       } else if (arg == "--serial") {
@@ -120,7 +128,7 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "argument error (%s): %s\n", arg.c_str(), e.what());
+      std::fprintf(stderr, "error: bad argument %s: %s\n", arg.c_str(), e.what());
       return 1;
     }
   }
@@ -169,7 +177,7 @@ int main(int argc, char** argv) {
       std::ofstream lb(lb_path);
       std::ofstream cells(cells_path);
       if (!lb || !cells) {
-        std::fprintf(stderr, "cannot write into %s\n", out_dir.c_str());
+        std::fprintf(stderr, "error: cannot write into %s\n", out_dir.c_str());
         return 1;
       }
       policy::write_leaderboard_csv(lb, result, columns);
@@ -180,7 +188,7 @@ int main(int argc, char** argv) {
                  result.cells.size(), failed, result.combos.size(), result.scenarios.size());
     return failed == result.cells.size() ? 1 : 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "tournament error: %s\n", e.what());
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
 }

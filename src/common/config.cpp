@@ -35,7 +35,13 @@ Config Config::from_string(const std::string& text) {
     if (key.empty()) {
       throw std::invalid_argument("Config: empty key on line " + std::to_string(lineno));
     }
-    cfg.values_[key] = value;
+    // A repeated key in config text is almost always a copy-paste mistake;
+    // silently letting the later line win hides it. Programmatic overrides
+    // go through Config::set, which keeps last-write-wins semantics.
+    if (!cfg.values_.emplace(key, value).second) {
+      throw std::invalid_argument("Config: duplicate key '" + key + "' on line " +
+                                  std::to_string(lineno));
+    }
   }
   return cfg;
 }

@@ -39,15 +39,24 @@ common::Config option_block(const common::Config& config, const std::string& pre
 ExperimentConfig experiment_config_from(const common::Config& config) {
   ExperimentConfig cfg;
 
+  // Counts bound for size_t fields reject negatives here, where the offending
+  // key name is still known, instead of wrapping to huge values in the cast.
+  const auto non_negative = [&config](const char* key, std::size_t fallback) {
+    const std::int64_t v = config.get_int(key, static_cast<std::int64_t>(fallback));
+    if (v < 0) {
+      throw std::invalid_argument(std::string("experiment_config_from: ") + key +
+                                  " must be >= 0");
+    }
+    return static_cast<std::size_t>(v);
+  };
+
   cfg.system = system_kind_from_string(config.get_string("system", "hierarchical"));
-  cfg.num_servers = static_cast<std::size_t>(config.get_int("num_servers", 30));
-  cfg.num_groups = static_cast<std::size_t>(config.get_int("num_groups", 3));
+  cfg.num_servers = non_negative("num_servers", 30);
+  cfg.num_groups = non_negative("num_groups", 3);
   cfg.fixed_timeout_s = config.get_double("fixed_timeout_s", cfg.fixed_timeout_s);
-  cfg.pretrain_jobs =
-      static_cast<std::size_t>(config.get_int("pretrain_jobs", static_cast<std::int64_t>(cfg.pretrain_jobs)));
+  cfg.pretrain_jobs = non_negative("pretrain_jobs", cfg.pretrain_jobs);
   cfg.learn_during_run = config.get_bool("learn_during_run", cfg.learn_during_run);
-  cfg.checkpoint_every_jobs = static_cast<std::size_t>(
-      config.get_int("checkpoint_every_jobs", static_cast<std::int64_t>(cfg.checkpoint_every_jobs)));
+  cfg.checkpoint_every_jobs = non_negative("checkpoint_every_jobs", cfg.checkpoint_every_jobs);
   cfg.precision =
       nn::precision_from_string(config.get_string("precision", nn::to_string(cfg.precision)));
   const std::int64_t gemm_threads =
@@ -57,10 +66,23 @@ ExperimentConfig experiment_config_from(const common::Config& config) {
   }
   cfg.gemm_threads = static_cast<std::size_t>(gemm_threads);
   cfg.batch_decisions = config.get_bool("batch_decisions", cfg.batch_decisions);
-  const std::int64_t shards = config.get_int("shards", static_cast<std::int64_t>(cfg.shards));
-  if (shards < 0) throw std::invalid_argument("experiment_config_from: shards must be >= 0");
-  cfg.shards = static_cast<std::size_t>(shards);
+  cfg.shards = non_negative("shards", cfg.shards);
   cfg.sla_latency_s = config.get_double("sla_latency_s", cfg.sla_latency_s);
+
+  // Fault injection & harness robustness (validated by FaultConfig::validate
+  // / ExperimentConfig::validate).
+  cfg.faults.mtbf_s = config.get_double("faults.mtbf_s", cfg.faults.mtbf_s);
+  cfg.faults.mttr_s = config.get_double("faults.mttr_s", cfg.faults.mttr_s);
+  cfg.faults.evict_every_s = config.get_double("faults.evict_every_s", cfg.faults.evict_every_s);
+  cfg.faults.max_retries = non_negative("faults.max_retries", cfg.faults.max_retries);
+  cfg.faults.backoff_base_s = config.get_double("faults.backoff_base_s", cfg.faults.backoff_base_s);
+  cfg.faults.backoff_cap_s = config.get_double("faults.backoff_cap_s", cfg.faults.backoff_cap_s);
+  cfg.faults.backoff_jitter = config.get_double("faults.backoff_jitter", cfg.faults.backoff_jitter);
+  cfg.faults.horizon_padding_s =
+      config.get_double("faults.horizon_padding_s", cfg.faults.horizon_padding_s);
+  cfg.faults.seed =
+      static_cast<std::uint64_t>(config.get_int("faults.seed", static_cast<std::int64_t>(cfg.faults.seed)));
+  cfg.watchdog_s = config.get_double("watchdog_s", cfg.watchdog_s);
 
   // Registry-backed policy selection (validated in ExperimentConfig::validate
   // against src/policy/registry.hpp, with did-you-mean diagnostics).
@@ -70,8 +92,7 @@ ExperimentConfig experiment_config_from(const common::Config& config) {
   cfg.power_opts = option_block(config, "power");
 
   // Trace.
-  cfg.trace.num_jobs =
-      static_cast<std::size_t>(config.get_int("trace.num_jobs", static_cast<std::int64_t>(cfg.trace.num_jobs)));
+  cfg.trace.num_jobs = non_negative("trace.num_jobs", cfg.trace.num_jobs);
   cfg.trace.horizon_s = config.get_double(
       "trace.horizon_s",
       sim::kSecondsPerWeek * static_cast<double>(cfg.trace.num_jobs) / 95000.0);

@@ -51,6 +51,10 @@ void ExperimentConfig::validate() const {
   if (sla_latency_s < 0.0) {
     throw std::invalid_argument("ExperimentConfig: negative sla_latency_s");
   }
+  faults.validate();
+  if (!(watchdog_s >= 0.0)) {
+    throw std::invalid_argument("ExperimentConfig: watchdog_s must be >= 0");
+  }
   // Registry-backed selection: unknown allocator/power/predictor names and
   // unknown per-policy option keys fail here with did-you-mean diagnostics.
   policy::validate_system_selection(*this);

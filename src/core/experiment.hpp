@@ -23,6 +23,7 @@
 #include "src/core/local_tier.hpp"
 #include "src/nn/precision.hpp"
 #include "src/sim/cluster.hpp"
+#include "src/sim/fault/fault.hpp"
 #include "src/workload/generator.hpp"
 
 namespace hcrl::core {
@@ -100,6 +101,20 @@ struct ExperimentConfig {
   /// is exercised by bench/ and tests; the driver keeps lockstep so every
   /// policy — including the staging RL tiers — is supported unchanged.
   std::size_t shards = 0;
+
+  /// Deterministic fault injection for the measured run (config keys
+  /// `faults.*`; see src/sim/fault/fault.hpp). Disabled by default
+  /// (mtbf_s == 0 && evict_every_s == 0). Pretraining always runs
+  /// fault-free: the offline construction phase models a clean cluster and
+  /// the faulty measured run is what the robustness scenarios score.
+  sim::FaultConfig faults;
+
+  /// Per-scenario watchdog: abort the run (pretraining included) with a
+  /// std::runtime_error once it exceeds this many wall-clock seconds, so a
+  /// hung cell becomes a per-cell error outcome instead of a hung grid.
+  /// 0 disables. Checked cooperatively every 64 events — it never perturbs
+  /// simulation results, only bounds how long a cell may take.
+  double watchdog_s = 0.0;
 
   void finalize();  // propagate sizes into drl/local sub-configs
   void validate() const;

@@ -8,6 +8,25 @@
 
 namespace hcrl::core {
 
+namespace {
+
+/// Argmax over the Q-row with crash-failed servers masked out. Falls back to
+/// the plain argmax when the whole action space is failed (the engine then
+/// bounces the placement into the retry stream). With no failed servers this
+/// delegates to nn::argmax, keeping the no-fault path bit-identical.
+template <class Row>
+std::size_t live_argmax(const Row& q, const sim::ClusterView& cluster) {
+  if (cluster.servers_failed() == 0) return nn::argmax(q);
+  std::size_t best = q.size();
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (i < cluster.num_servers() && cluster.server(i).failed()) continue;
+    if (best == q.size() || q[i] > q[best]) best = i;
+  }
+  return best == q.size() ? nn::argmax(q) : best;
+}
+
+}  // namespace
+
 void DrlAllocatorOptions::validate() const {
   qnet.validate();
   if (beta <= 0.0) throw std::invalid_argument("DrlAllocator: beta must be > 0");
@@ -67,6 +86,22 @@ sim::ServerId DrlAllocator::select_server(const sim::ClusterView& cluster, const
   if (learning_ && rng_.bernoulli(eps)) {
     if (guide_ != nullptr && rng_.bernoulli(opts_.guide_mix)) {
       action = guide_->select_server(cluster, job);
+    } else if (const std::size_t failed = cluster.servers_failed();
+               failed > 0 && failed < cluster.num_servers() &&
+               qnet_->num_actions() == cluster.num_servers()) {
+      // Explore uniformly over the live servers only (same rng stream; the
+      // single-draw no-fault path below is untouched when nothing is failed).
+      std::size_t k = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(cluster.num_servers() - failed) - 1));
+      action = 0;
+      for (std::size_t i = 0; i < cluster.num_servers(); ++i) {
+        if (cluster.server(i).failed()) continue;
+        if (k == 0) {
+          action = i;
+          break;
+        }
+        --k;
+      }
     } else {
       action = static_cast<std::size_t>(
           rng_.uniform_int(0, static_cast<std::int64_t>(qnet_->num_actions()) - 1));
@@ -78,9 +113,9 @@ sim::ServerId DrlAllocator::select_server(const sim::ClusterView& cluster, const
     // output row, no Q-vector assembly — and the single shared fusion point.
     const DecisionService::Ticket ticket = service_->stage_q_values(*qnet_, state);
     service_->flush();
-    action = nn::argmax(service_->q_values(ticket));
+    action = live_argmax(service_->q_values(ticket), cluster);
   } else {
-    action = nn::argmax(qnet_->q_values(state));
+    action = live_argmax(qnet_->q_values(state), cluster);
   }
 
   ++epochs_;

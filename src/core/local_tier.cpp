@@ -114,6 +114,11 @@ void RlPowerManager::close_sojourn(const sim::Server& server, sim::Time now, Per
     case sim::PowerState::kIdle:
     case sim::PowerState::kActive:
       break;
+    case sim::PowerState::kFailed:
+      // Crash-failed: the arrival was bounced before reaching this server, so
+      // no sojourn closes against it. Treat like sleep for the follow-on cost.
+      wait_s = opts_.t_on_s;
+      break;
   }
   const double wake_cost = opts_.w * wait_s * opts_.transition_watts / opts_.power_scale_watts +
                            (1.0 - opts_.w) * wait_s;

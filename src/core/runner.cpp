@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "src/common/log.hpp"
+#include "src/common/rng.hpp"
 #include "src/common/stats.hpp"
 #include "src/nn/matrix.hpp"
 #include "src/core/decision_service.hpp"
@@ -147,6 +148,21 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
 
   const auto wall_start = std::chrono::steady_clock::now();
 
+  // Watchdog: cooperative wall-clock deadline checked every 64 events. The
+  // thrown runtime_error surfaces as a per-cell error ScenarioOutcome through
+  // run_outcomes(), so one hung cell never hangs the whole grid.
+  std::uint64_t watchdog_tick = 0;
+  const auto check_watchdog = [&] {
+    if (cfg.watchdog_s <= 0.0 || (++watchdog_tick & 0x3F) != 0) return;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    if (elapsed > cfg.watchdog_s) {
+      throw std::runtime_error("watchdog: scenario '" + scenario.name + "' exceeded " +
+                               std::to_string(cfg.watchdog_s) + " s (wall " +
+                               std::to_string(elapsed) + " s)");
+    }
+  };
+
   Trace trace = [&] {
     telemetry::Span span(trace_load_span(), scenario.name);
     return scenario.effective_trace()->produce();
@@ -173,7 +189,9 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
                                  trace.jobs.begin() + static_cast<std::ptrdiff_t>(n));
     sim::Cluster warmup(cluster_config(cfg), *policies.allocation, *policies.power);
     warmup.load_jobs(std::move(prefix));
-    warmup.run();
+    // Fault-free by design (the offline phase models a clean cluster); the
+    // step loop only adds the watchdog check, which never perturbs results.
+    while (warmup.step()) check_watchdog();
     policies.drl->end_episode();
     common::log_info() << scenario.name << ": pretrained on " << n << " jobs ("
                        << policies.drl->train_steps() << " gradient steps)";
@@ -197,6 +215,7 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
   auto measured_loop = [&](auto& cluster) {
     telemetry::Span span(measured_run_span(), scenario.name);
     while (cluster.step()) {
+      check_watchdog();
       if (cluster.jobs_completed() >= next_checkpoint) {
         const auto snap = cluster.snapshot();
         const CheckpointRow row{snap.jobs_completed, snap.now, snap.accumulated_latency_s,
@@ -212,8 +231,22 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
     fill_tail_metrics(result, completed_latencies(cluster), cfg.sla_latency_s);
   };
 
+  // Deterministic fault injection for the measured run (see
+  // src/sim/fault/fault.hpp). The schedule is a pure function of
+  // (faults.seed, num_servers, horizon): faults.seed == 0 derives one from
+  // the trace seed so faulty scenarios stay reproducible without extra keys.
+  std::unique_ptr<sim::FaultInjector> faults;
+  if (cfg.faults.enabled()) {
+    sim::FaultConfig fc = cfg.faults;
+    if (fc.seed == 0) fc.seed = common::SplitMix64(cfg.trace.seed ^ 0xFA017FA017FA017FULL).next();
+    const double horizon =
+        (trace.jobs.empty() ? 0.0 : trace.jobs.back().arrival) + fc.horizon_padding_s;
+    faults = std::make_unique<sim::FaultInjector>(fc, cfg.num_servers, horizon);
+  }
+
   if (cfg.shards == 0) {
     sim::Cluster cluster(cluster_config(cfg), *policies.allocation, *policies.power);
+    cluster.install_faults(faults.get());
     cluster.load_jobs(std::move(trace.jobs));
     measured_loop(cluster);
   } else {
@@ -221,6 +254,7 @@ ExperimentResult run_scenario(const Scenario& scenario, RunObserver* observer) {
     scc.cluster = cluster_config(cfg);
     scc.num_shards = cfg.shards;
     sim::ShardedCluster cluster(scc, *policies.allocation, *policies.power);
+    cluster.install_faults(faults.get());
     cluster.load_jobs(std::move(trace.jobs));
     measured_loop(cluster);
   }

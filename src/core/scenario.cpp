@@ -21,6 +21,7 @@ ExperimentConfig Scenario::materialized() const {
     cfg.trace.seed = sm.next();  // only reaches the workload when trace == null
     cfg.drl.seed = sm.next();
     cfg.local.seed = sm.next();
+    cfg.faults.seed = sm.next();  // ignored by the runner when faults are off
   }
   cfg.finalize();
   return cfg;
@@ -195,6 +196,17 @@ Scenario tiny_scenario(SystemKind kind, std::size_t jobs) {
   return s;
 }
 
+/// Fault-injected variant knobs shared by every `*-faulty` registry entry:
+/// crashes every ~4 h per server (10 min repair), evictions every ~6 h, and
+/// the default bounded-retry/backoff policy. `faults.seed` is pinned because
+/// the tiny scenarios run with Scenario::seed == 0 (no per-scenario stream).
+void add_faults(ExperimentConfig& cfg) {
+  cfg.faults.mtbf_s = 4.0 * sim::kSecondsPerHour;
+  cfg.faults.mttr_s = 600.0;
+  cfg.faults.evict_every_s = 6.0 * sim::kSecondsPerHour;
+  cfg.faults.seed = 1045;
+}
+
 constexpr SystemKind kPaperSystems[] = {SystemKind::kRoundRobin, SystemKind::kDrlOnly,
                                         SystemKind::kHierarchical};
 constexpr SystemKind kAllSystems[] = {SystemKind::kRoundRobin,      SystemKind::kDrlOnly,
@@ -223,6 +235,21 @@ ScenarioRegistry build_builtin() {
     r.add("tiny/" + to_string(kind),
           [kind](std::size_t jobs) { return tiny_scenario(kind, jobs); });
   }
+  // Fault-injected twins of the tiny sweep (deterministic crash/evict plans;
+  // see src/sim/fault/fault.hpp), plus one paper-scale faulty cell that rides
+  // into bench_table1 via make_group("table1/").
+  for (SystemKind kind : kAllSystems) {
+    r.add("tiny/" + to_string(kind) + "-faulty", [kind](std::size_t jobs) {
+      Scenario s = tiny_scenario(kind, jobs);
+      add_faults(s.config);
+      return s;
+    });
+  }
+  r.add("table1/m30/hierarchical-faulty", [](std::size_t jobs) {
+    Scenario s = paper_scenario(30, SystemKind::kHierarchical, jobs, false);
+    add_faults(s.config);
+    return s;
+  });
   // Real-cluster workloads from the TraceCatalog fixtures, plus their
   // calibrated-synthetic twins (workload::trace::calibrate fit to the same
   // fixture). The paper's own system (hierarchical) runs on each.

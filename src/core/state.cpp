@@ -34,6 +34,7 @@ void StateEncoder::encode_server(const sim::Server& server, nn::Vec& out) const 
       availability = 0.5;
       break;
     case sim::PowerState::kSleep:
+    case sim::PowerState::kFailed:
       availability = 0.0;
       break;
   }

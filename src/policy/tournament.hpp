@@ -67,6 +67,18 @@ struct TournamentOptions {
   std::size_t jobs = 2000;
   /// SLA threshold applied to every cell (seconds; 0 disables the count).
   double sla_latency_s = 300.0;
+  /// Per-cell wall-clock watchdog applied to every cell (seconds; 0
+  /// disables): a cell exceeding it becomes a per-cell error outcome while
+  /// the rest of the grid completes. See ExperimentConfig::watchdog_s.
+  double watchdog_s = 0.0;
+  /// Crash-safe resume journal (empty disables). Every successfully finished
+  /// cell appends one fsync-free flushed CSV record to this file; rerunning
+  /// the same grid with the same path skips journaled cells and reproduces
+  /// their results (including wall_seconds) byte-identically from the
+  /// round-trip-exact record instead of recomputing. Failed cells are never
+  /// journaled, so they re-run on resume. A truncated trailing record (the
+  /// run was killed mid-write) is ignored.
+  std::string journal_path;
 };
 
 /// One cell of the grid. Exactly one of {ok, error} is meaningful.
@@ -106,6 +118,14 @@ struct LeaderboardRow {
   double latency_p99_s = 0.0;    // max over ok cells
   std::size_t sla_violations = 0;
   std::size_t jobs_completed = 0;
+  // Lost-work accounting under fault injection (sums over ok cells; all
+  // zero for fault-free scenario sets).
+  std::size_t crashes = 0;
+  std::size_t evictions = 0;
+  std::size_t retries = 0;
+  std::size_t jobs_lost = 0;
+  double lost_cpu_seconds = 0.0;
+  double mttr_s = 0.0;  // combo-wide downtime / recoveries
   double wall_seconds = 0.0;        // timing
   double decisions_per_sec = 0.0;   // timing
 };

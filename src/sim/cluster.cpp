@@ -37,6 +37,19 @@ Cluster::Cluster(const ClusterConfig& cfg, std::vector<ServerConfig> per_server,
   set_server_view({servers_.data(), servers_.size()});
 }
 
+void Cluster::install_faults(FaultInjector* faults) {
+  if (jobs_loaded_) throw std::logic_error("Cluster::install_faults: jobs already loaded");
+  if (faults != nullptr) {
+    for (const FaultEvent& f : faults->plan().events) {
+      if (f.server >= servers_.size()) {
+        throw std::invalid_argument("Cluster::install_faults: plan targets server " +
+                                    std::to_string(f.server) + " out of range");
+      }
+    }
+  }
+  faults_ = faults;
+}
+
 void Cluster::load_jobs(std::vector<Job> jobs) {
   if (jobs_loaded_) throw std::logic_error("Cluster::load_jobs: already loaded");
   // Arrival events carry the jobs_ index in their JobId-typed `job` field, so
@@ -60,6 +73,13 @@ void Cluster::load_jobs(std::vector<Job> jobs) {
     queue_.push(jobs_[i].arrival, EventType::kJobArrival, /*server=*/0,
                 static_cast<JobId>(i));
   }
+  // Fault-plan events take the next seq block: at equal timestamps they
+  // lose to trace arrivals (lower seqs) and win against runtime events.
+  if (faults_ != nullptr) {
+    for (const FaultEvent& f : faults_->plan().events) {
+      queue_.push(f.time, to_event_type(f.kind), f.server);
+    }
+  }
 }
 
 bool Cluster::step() {
@@ -71,13 +91,31 @@ bool Cluster::step() {
   // events touch only their own server's state and the staged decisions touch
   // only theirs, so they commute with the staged requests and may extend the
   // epoch — that is where the cross-server batching comes from.
-  if (power_policy_.has_staged_decisions() &&
-      (queue_.empty() || queue_.top().time != now_ ||
-       queue_.top().type == EventType::kJobArrival)) {
-    count_flush(queue_.empty()                                 ? FlushReason::kDrain
-                : queue_.top().type == EventType::kJobArrival ? FlushReason::kArrival
-                                                              : FlushReason::kTimeAdvance);
-    power_policy_.flush_decisions();  // may push events at times >= now_
+  // Fault-injected retries are re-arrivals, so for the barrier they count
+  // exactly like arrival events (and a pending retry means the simulation
+  // is not drained).
+  bool retry_next = retry_outranks_heap();
+  if (power_policy_.has_staged_decisions()) {
+    const bool drained = queue_.empty() && !retry_next;
+    const Time next_time =
+        retry_next ? faults_->next_retry_time() : (queue_.empty() ? now_ : queue_.top().time);
+    const bool arrival_next =
+        retry_next || (!queue_.empty() && queue_.top().type == EventType::kJobArrival);
+    if (drained || next_time != now_ || arrival_next) {
+      count_flush(drained        ? FlushReason::kDrain
+                  : arrival_next ? FlushReason::kArrival
+                                 : FlushReason::kTimeAdvance);
+      power_policy_.flush_decisions();  // may push events at times >= now_
+      retry_next = retry_outranks_heap();
+    }
+  }
+  if (retry_next) {
+    const FaultInjector::Retry r = faults_->pop_retry();
+    if (r.time < now_) throw std::logic_error("Cluster: time went backwards");
+    now_ = r.time;
+    dispatch_arrival(r.job);
+    if (telemetry::enabled()) telemetry::count(SimMetrics::get().events);
+    return true;
   }
   if (queue_.empty()) {
     if (!finished_notified_) {
@@ -92,6 +130,17 @@ bool Cluster::step() {
   handle(e);
   if (telemetry::enabled()) telemetry::count(SimMetrics::get().events);
   return true;
+}
+
+bool Cluster::retry_outranks_heap() const {
+  if (faults_ == nullptr || !faults_->has_pending_retry()) return false;
+  if (queue_.empty()) return true;
+  const Event& top = queue_.top();
+  const Time rt = faults_->next_retry_time();
+  if (rt != top.time) return rt < top.time;
+  // Equal-time precedence: trace arrival, then retry, then anything else.
+  // (Retries never enter the heap, so a kJobArrival top is a trace arrival.)
+  return top.type != EventType::kJobArrival;
 }
 
 void Cluster::run() {
@@ -114,30 +163,67 @@ void Cluster::run_until_completed(std::size_t n) {
 
 void Cluster::handle(const Event& e) {
   switch (e.type) {
-    case EventType::kJobArrival: {
-      const Job& job = jobs_.at(static_cast<std::size_t>(e.job));
-      const ServerId target = allocation_.select_server(*this, job);
-      if (target >= servers_.size()) {
-        throw std::logic_error("AllocationPolicy returned invalid server " +
-                               std::to_string(target));
-      }
-      metrics_.on_arrival(job, now_);
-      servers_[target].handle_arrival(job, now_, queue_, power_policy_);
-      if (telemetry::enabled()) telemetry::count(SimMetrics::get().arrivals);
+    case EventType::kJobArrival:
+      dispatch_arrival(jobs_.at(static_cast<std::size_t>(e.job)));
       break;
-    }
     case EventType::kJobFinish:
-      servers_.at(e.server).handle_job_finish(e.job, now_, queue_, power_policy_);
+      servers_.at(e.server).handle_job_finish(e.job, now_, queue_, power_policy_, e.generation);
       break;
     case EventType::kWakeComplete:
-      servers_.at(e.server).handle_wake_complete(now_, queue_, power_policy_);
+      servers_.at(e.server).handle_wake_complete(now_, queue_, power_policy_, e.generation);
       break;
     case EventType::kSleepComplete:
-      servers_.at(e.server).handle_sleep_complete(now_, queue_, power_policy_);
+      servers_.at(e.server).handle_sleep_complete(now_, queue_, power_policy_, e.generation);
       break;
     case EventType::kIdleTimeout:
       servers_.at(e.server).handle_idle_timeout(e.generation, now_, queue_, power_policy_);
       break;
+    case EventType::kServerCrash:
+      if (telemetry::enabled()) telemetry::count(SimMetrics::get().fault_crashes);
+      requeue_killed(servers_.at(e.server).handle_crash(now_));
+      break;
+    case EventType::kServerRecover:
+      servers_.at(e.server).handle_recover(now_);
+      break;
+    case EventType::kSpotEvict:
+      if (telemetry::enabled()) telemetry::count(SimMetrics::get().fault_evictions);
+      requeue_killed(servers_.at(e.server).handle_eviction(now_, queue_, power_policy_));
+      break;
+  }
+}
+
+void Cluster::dispatch_arrival(const Job& job) {
+  const ServerId target = allocation_.select_server(*this, job);
+  if (target >= servers_.size()) {
+    throw std::logic_error("AllocationPolicy returned invalid server " + std::to_string(target));
+  }
+  if (faults_ != nullptr && servers_[target].failed()) {
+    // Transient allocation failure: the placement raced a crash. The job
+    // never enters the system; it bounces into the retry stream.
+    metrics_.on_bounce();
+    if (faults_->schedule_retry(job, now_)) {
+      metrics_.on_retry();
+      if (telemetry::enabled()) telemetry::count(SimMetrics::get().fault_retries);
+    } else {
+      metrics_.on_job_lost();
+      if (telemetry::enabled()) telemetry::count(SimMetrics::get().fault_lost);
+    }
+    return;
+  }
+  metrics_.on_arrival(job, now_);
+  servers_[target].handle_arrival(job, now_, queue_, power_policy_);
+  if (telemetry::enabled()) telemetry::count(SimMetrics::get().arrivals);
+}
+
+void Cluster::requeue_killed(const std::vector<Job>& killed) {
+  for (const Job& j : killed) {
+    if (faults_ != nullptr && faults_->schedule_retry(j, now_)) {
+      metrics_.on_retry();
+      if (telemetry::enabled()) telemetry::count(SimMetrics::get().fault_retries);
+    } else {
+      metrics_.on_job_lost();
+      if (telemetry::enabled()) telemetry::count(SimMetrics::get().fault_lost);
+    }
   }
 }
 

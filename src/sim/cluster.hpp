@@ -12,6 +12,7 @@
 
 #include "src/sim/cluster_view.hpp"
 #include "src/sim/event_queue.hpp"
+#include "src/sim/fault/fault.hpp"
 #include "src/sim/metrics.hpp"
 #include "src/sim/policies.hpp"
 #include "src/sim/server.hpp"
@@ -39,6 +40,11 @@ class Cluster final : public ClusterView {
   /// times, hot-spot thresholds).
   Cluster(const ClusterConfig& cfg, std::vector<ServerConfig> per_server,
           AllocationPolicy& allocation, PowerPolicy& power);
+
+  /// Install deterministic fault injection (borrowed; must outlive the
+  /// cluster). Must be called before load_jobs, which materializes the
+  /// fault plan into the event queue.
+  void install_faults(FaultInjector* faults);
 
   /// Load the trace. Jobs must be sorted by arrival time and have unique
   /// ids; throws otherwise. May only be called once, before stepping.
@@ -71,6 +77,8 @@ class Cluster final : public ClusterView {
   double mean_cpu_utilization() const override;
   /// Number of servers currently powered on (active or idle); O(1).
   std::size_t servers_on() const override;
+  /// Number of servers currently crash-failed; O(1).
+  std::size_t servers_failed() const override { return metrics_.servers_failed(); }
   /// Brute-force O(M) rescans of the same quantities. Tests pin the
   /// incremental counters against these; production code should not call them.
   double mean_cpu_utilization_scan() const;
@@ -80,6 +88,14 @@ class Cluster final : public ClusterView {
 
  private:
   void handle(const Event& e);
+  /// Route a (trace or retry) arrival to the selected server, bouncing it
+  /// into the retry stream when the target has crash-failed.
+  void dispatch_arrival(const Job& job);
+  /// Re-queue jobs revoked by a crash/eviction through the retry policy.
+  void requeue_killed(const std::vector<Job>& killed);
+  /// True when the pending retry stream outranks the heap top: strictly
+  /// earlier, or equal-time against anything but a trace arrival.
+  bool retry_outranks_heap() const;
 
   ClusterConfig cfg_;
   AllocationPolicy& allocation_;
@@ -88,6 +104,7 @@ class Cluster final : public ClusterView {
   std::vector<Server> servers_;
   EventQueue queue_;
   std::vector<Job> jobs_;
+  FaultInjector* faults_ = nullptr;  // not owned; null = faults off
   bool jobs_loaded_ = false;
   bool finished_notified_ = false;
   Time now_ = 0.0;

@@ -54,6 +54,13 @@ class ClusterView {
   /// Number of servers currently powered on (active or idle).
   virtual std::size_t servers_on() const = 0;
 
+  // ---- failure mask (fault injection; see src/sim/fault/fault.hpp) ---------
+  /// Number of servers currently crash-failed. 0 when faults are off.
+  virtual std::size_t servers_failed() const { return 0; }
+  /// True when server i is crash-failed. Policies must exclude such
+  /// servers from placement; the engine bounces placements into them.
+  bool server_failed(std::size_t i) const { return server(i).failed(); }
+
  protected:
   /// Set once by the engine after its server array is fully constructed.
   void set_server_view(std::span<const Server> servers) noexcept { servers_ = servers; }

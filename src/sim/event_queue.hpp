@@ -16,6 +16,9 @@ enum class EventType : std::uint8_t {
   kWakeComplete,   // server finished its sleep->active transition
   kSleepComplete,  // server finished its active->sleep transition
   kIdleTimeout,    // server's DPM timeout expired (guarded by `generation`)
+  kServerCrash,    // fault injection: server fails, all its work is revoked
+  kServerRecover,  // fault injection: repair completes, server returns cold
+  kSpotEvict,      // fault injection: spot revocation kills running jobs
 };
 
 struct Event {

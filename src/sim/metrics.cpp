@@ -59,6 +59,37 @@ void ClusterMetrics::on_server_status(ServerId server, bool is_on, double cpu_us
   server_cpu_[server] = cpu_used;
 }
 
+void ClusterMetrics::on_crash(Time now) {
+  (void)now;
+  ++faults_.crashes;
+  ++servers_failed_;
+}
+
+void ClusterMetrics::on_recovery(double downtime_s, Time now) {
+  (void)now;
+  ++faults_.recoveries;
+  faults_.downtime_s += downtime_s;
+  if (servers_failed_ == 0) throw std::logic_error("metrics: recovery without a crash");
+  --servers_failed_;
+}
+
+void ClusterMetrics::on_eviction(Time now) {
+  (void)now;
+  ++faults_.evictions;
+}
+
+void ClusterMetrics::on_job_killed(double lost_cpu_seconds, Time now) {
+  ++faults_.jobs_killed;
+  faults_.lost_cpu_seconds += lost_cpu_seconds;
+  jobs_in_system_.set(now, jobs_in_system_.current() - 1.0);
+}
+
+void ClusterMetrics::on_bounce() { ++faults_.bounces; }
+
+void ClusterMetrics::on_retry() { ++faults_.retries; }
+
+void ClusterMetrics::on_job_lost() { ++faults_.jobs_lost; }
+
 double ClusterMetrics::latency_percentile(double q) const {
   if (!keep_job_records_) {
     throw std::logic_error("latency_percentile: job records disabled");
@@ -81,6 +112,7 @@ MetricsSnapshot ClusterMetrics::snapshot(Time now) const {
   s.average_power_watts = now > 0.0 ? s.energy_joules / now : 0.0;
   s.jobs_in_system = jobs_in_system_.current();
   s.reliability_penalty = reliability_.integral(now);
+  s.faults = faults_;
   return s;
 }
 

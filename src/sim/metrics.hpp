@@ -13,6 +13,26 @@
 
 namespace hcrl::sim {
 
+/// Lost-work accounting under fault injection (all zero without faults).
+/// Integer fields are exact and shard-count-invariant: every count is taken
+/// at a globally ordered event on the owning shard's collector.
+struct FaultCounters {
+  std::size_t crashes = 0;          // full-server failures applied
+  std::size_t recoveries = 0;       // repairs completed
+  std::size_t evictions = 0;        // spot revocations that killed >= 1 job
+  std::size_t jobs_killed = 0;      // running/queued jobs revoked
+  std::size_t bounces = 0;          // arrivals rejected (target had failed)
+  std::size_t retries = 0;          // re-submissions scheduled
+  std::size_t jobs_lost = 0;        // dropped after the retry budget
+  double lost_cpu_seconds = 0.0;    // discarded execution progress
+  double downtime_s = 0.0;          // total failed time over recovered servers
+
+  /// Mean time to repair over completed recoveries.
+  double mttr_s() const noexcept {
+    return recoveries > 0 ? downtime_s / static_cast<double>(recoveries) : 0.0;
+  }
+};
+
 struct MetricsSnapshot {
   Time now = 0.0;
   std::size_t jobs_arrived = 0;
@@ -22,6 +42,7 @@ struct MetricsSnapshot {
   double average_power_watts = 0.0;     // energy / elapsed
   double jobs_in_system = 0.0;          // current count
   double reliability_penalty = 0.0;     // integral of hot-spot penalty
+  FaultCounters faults;                 // lost-work accounting (fault injection)
 
   double energy_kwh() const noexcept { return energy_joules / 3.6e6; }
   double average_latency_s() const noexcept {
@@ -50,6 +71,18 @@ class ClusterMetrics {
   /// per-checkpoint O(M) scans dominate the metrics path).
   void on_server_status(ServerId server, bool is_on, double cpu_used);
 
+  // -- fault accounting (see src/sim/fault/fault.hpp) ------------------------
+  void on_crash(Time now);
+  void on_recovery(double downtime_s, Time now);
+  void on_eviction(Time now);
+  /// A running/queued job was revoked; removes it from the in-system count.
+  void on_job_killed(double lost_cpu_seconds, Time now);
+  /// An arrival was rejected because its target had failed (the job never
+  /// entered the system; it re-enters via the retry stream).
+  void on_bounce();
+  void on_retry();
+  void on_job_lost();
+
   // -- queries ---------------------------------------------------------------
   double total_power_watts() const noexcept { return total_power_.current(); }
   double energy_joules(Time now) const { return total_power_.integral(now); }
@@ -60,6 +93,9 @@ class ClusterMetrics {
   std::size_t jobs_completed() const noexcept { return completed_; }
   /// Servers currently powered on (active or idle); O(1).
   std::size_t servers_on() const noexcept { return servers_on_; }
+  /// Servers currently crash-failed; O(1).
+  std::size_t servers_failed() const noexcept { return servers_failed_; }
+  const FaultCounters& faults() const noexcept { return faults_; }
   /// Sum of per-server CPU utilizations; O(1). Incrementally maintained, so
   /// it may drift from an exact rescan by float rounding only (pinned to the
   /// brute-force scan in tests).
@@ -82,6 +118,8 @@ class ClusterMetrics {
   std::vector<std::uint8_t> server_on_;
   std::vector<double> server_cpu_;
   std::size_t servers_on_ = 0;
+  std::size_t servers_failed_ = 0;
+  FaultCounters faults_;
   double cpu_used_sum_ = 0.0;
   common::TimeWeightedValue total_power_;
   common::TimeWeightedValue jobs_in_system_;

@@ -5,17 +5,35 @@
 
 namespace hcrl::sim {
 
+namespace {
+
+/// Failure mask for stateless allocators: first non-failed server scanning
+/// cyclically from `start`. Returns `start` itself when every server is
+/// failed (the engine then bounces the placement into the retry stream).
+/// A no-op (returns `start`) whenever fault injection is off.
+ServerId first_live_from(const ClusterView& cluster, ServerId start) {
+  const std::size_t m = cluster.num_servers();
+  for (std::size_t k = 0; k < m; ++k) {
+    const ServerId i = (start + k) % m;
+    if (!cluster.server(i).failed()) return i;
+  }
+  return start;
+}
+
+}  // namespace
+
 ServerId RoundRobinAllocator::select_server(const ClusterView& cluster, const Job& job) {
   (void)job;
   const ServerId chosen = next_ % cluster.num_servers();
   next_ = (next_ + 1) % cluster.num_servers();
-  return chosen;
+  return first_live_from(cluster, chosen);
 }
 
 ServerId RandomAllocator::select_server(const ClusterView& cluster, const Job& job) {
   (void)job;
-  return static_cast<ServerId>(
+  const auto chosen = static_cast<ServerId>(
       rng_.uniform_int(0, static_cast<std::int64_t>(cluster.num_servers()) - 1));
+  return first_live_from(cluster, chosen);
 }
 
 ServerId LeastLoadedAllocator::select_server(const ClusterView& cluster, const Job& job) {
@@ -35,10 +53,11 @@ ServerId LeastLoadedAllocator::select_server(const ClusterView& cluster, const J
   }
   if (best_awake < cluster.num_servers() && best_util + job.demand[0] <= 1.0) return best_awake;
   // Saturated (or nothing awake): pick any sleeping server, else least loaded.
+  // (kFailed is excluded everywhere: it is neither on, waking, nor kSleep.)
   for (ServerId i = 0; i < cluster.num_servers(); ++i) {
     if (cluster.server(i).power_state() == PowerState::kSleep) return i;
   }
-  return best_awake < cluster.num_servers() ? best_awake : 0;
+  return best_awake < cluster.num_servers() ? best_awake : first_live_from(cluster, 0);
 }
 
 ServerId FirstFitPackingAllocator::select_server(const ClusterView& cluster, const Job& job) {
@@ -61,37 +80,41 @@ ServerId FirstFitPackingAllocator::select_server(const ClusterView& cluster, con
   for (ServerId i = 0; i < cluster.num_servers(); ++i) {
     if (cluster.server(i).power_state() == PowerState::kSleep) return i;
   }
-  // Everything is busy: shortest combined backlog.
-  ServerId fallback = 0;
+  // Everything is busy: shortest combined backlog among live servers.
+  ServerId fallback = cluster.num_servers();
   std::size_t best_backlog = static_cast<std::size_t>(-1);
   for (ServerId i = 0; i < cluster.num_servers(); ++i) {
+    if (cluster.server(i).failed()) continue;
     const std::size_t backlog = cluster.server(i).jobs_on_server();
     if (backlog < best_backlog) {
       best_backlog = backlog;
       fallback = i;
     }
   }
-  return fallback;
+  return fallback < cluster.num_servers() ? fallback : 0;
 }
 
 namespace {
 
 /// Shared fallback when no awake server can take the job now: wake the first
-/// sleeping server, else join the shortest combined backlog.
+/// sleeping server, else join the shortest combined backlog among live
+/// servers (0 as a last resort when the whole cluster is failed — the
+/// engine bounces that placement).
 ServerId wake_or_shortest_backlog(const ClusterView& cluster) {
   for (ServerId i = 0; i < cluster.num_servers(); ++i) {
     if (cluster.server(i).power_state() == PowerState::kSleep) return i;
   }
-  ServerId fallback = 0;
+  ServerId fallback = cluster.num_servers();
   std::size_t best_backlog = static_cast<std::size_t>(-1);
   for (ServerId i = 0; i < cluster.num_servers(); ++i) {
+    if (cluster.server(i).failed()) continue;
     const std::size_t backlog = cluster.server(i).jobs_on_server();
     if (backlog < best_backlog) {
       best_backlog = backlog;
       fallback = i;
     }
   }
-  return fallback;
+  return fallback < cluster.num_servers() ? fallback : 0;
 }
 
 /// Scan the awake (or waking), empty-queue servers that fit `job` and return
@@ -165,6 +188,7 @@ ServerId RandomKAllocator::select_server(const ClusterView& cluster, const Job& 
     const auto i = static_cast<ServerId>(
         rng_.uniform_int(0, static_cast<std::int64_t>(cluster.num_servers()) - 1));
     const Server& s = cluster.server(i);
+    if (s.failed()) continue;  // failed samples burn a draw but never win
     const bool usable = s.is_on() || s.power_state() == PowerState::kWaking;
     // Sleeping samples are admissible (they wake on dispatch) but rank after
     // any usable sample: charge them the wake as one queued-job equivalent.
@@ -175,7 +199,7 @@ ServerId RandomKAllocator::select_server(const ClusterView& cluster, const Job& 
       chosen = i;
     }
   }
-  return chosen;
+  return chosen < cluster.num_servers() ? chosen : first_live_from(cluster, 0);
 }
 
 double AlwaysOnPolicy::on_idle(const Server& server, Time now) {

@@ -15,6 +15,7 @@ const char* to_string(PowerState s) noexcept {
     case PowerState::kActive: return "active";
     case PowerState::kIdle: return "idle";
     case PowerState::kFallingAsleep: return "falling-asleep";
+    case PowerState::kFailed: return "failed";
   }
   return "?";
 }
@@ -69,6 +70,9 @@ void Server::refresh_power(Time now) {
     case PowerState::kIdle:
       set_power(now, cfg_.power.active_power(utilization(0)));
       break;
+    case PowerState::kFailed:
+      set_power(now, 0.0);  // dead servers draw nothing
+      break;
   }
   if (metrics_ != nullptr) {
     const double over = std::max(0.0, utilization(0) - cfg_.hotspot_threshold);
@@ -109,6 +113,10 @@ void Server::handle_arrival(const Job& job, Time now, EventQueue& queue, PowerPo
     case PowerState::kActive:
       try_start_jobs(now, queue);
       break;
+    case PowerState::kFailed:
+      // The engine bounces arrivals targeting failed servers into the
+      // retry stream before they reach the server.
+      throw std::logic_error("Server: arrival at failed server");
   }
 }
 
@@ -121,14 +129,16 @@ void Server::try_start_jobs(Time now, EventQueue& queue) {
     Job job = std::move(queue_.front());
     queue_.pop_front();
     used_.add(job.demand);
-    queue.push(now + job.duration, EventType::kJobFinish, id_, job.id);
+    queue.push(now + job.duration, EventType::kJobFinish, id_, job.id, incarnation_);
     running_.push_back(RunningJob{std::move(job), now});
   }
   update_trackers(now);
   refresh_power(now);
 }
 
-void Server::handle_job_finish(JobId job, Time now, EventQueue& queue, PowerPolicy& policy) {
+void Server::handle_job_finish(JobId job, Time now, EventQueue& queue, PowerPolicy& policy,
+                               std::uint64_t generation) {
+  if (generation != incarnation_) return;  // job was revoked by a crash/eviction
   auto it = std::find_if(running_.begin(), running_.end(),
                          [job](const RunningJob& r) { return r.job.id == job; });
   if (it == running_.end()) throw std::logic_error("Server: finish for unknown job");
@@ -139,7 +149,7 @@ void Server::handle_job_finish(JobId job, Time now, EventQueue& queue, PowerPoli
     JobRecord rec;
     rec.id = it->job.id;
     rec.server = id_;
-    rec.arrival = it->job.arrival;
+    rec.arrival = it->job.submit_time();
     rec.start = it->start;
     rec.finish = now;
     metrics_->on_completion(rec, now);
@@ -188,7 +198,7 @@ void Server::begin_wake(Time now, EventQueue& queue) {
   assert(state_ == PowerState::kSleep);
   state_ = PowerState::kWaking;
   refresh_power(now);
-  queue.push(now + cfg_.t_on, EventType::kWakeComplete, id_);
+  queue.push(now + cfg_.t_on, EventType::kWakeComplete, id_, /*job=*/0, incarnation_);
 }
 
 void Server::begin_sleep(Time now, EventQueue& queue, std::uint64_t seq) {
@@ -196,13 +206,15 @@ void Server::begin_sleep(Time now, EventQueue& queue, std::uint64_t seq) {
   state_ = PowerState::kFallingAsleep;
   refresh_power(now);
   if (seq == kFreshSeq) {
-    queue.push(now + cfg_.t_off, EventType::kSleepComplete, id_);
+    queue.push(now + cfg_.t_off, EventType::kSleepComplete, id_, /*job=*/0, incarnation_);
   } else {
-    queue.push_at(now + cfg_.t_off, seq, EventType::kSleepComplete, id_);
+    queue.push_at(now + cfg_.t_off, seq, EventType::kSleepComplete, id_, /*job=*/0, incarnation_);
   }
 }
 
-void Server::handle_wake_complete(Time now, EventQueue& queue, PowerPolicy& policy) {
+void Server::handle_wake_complete(Time now, EventQueue& queue, PowerPolicy& policy,
+                                  std::uint64_t generation) {
+  if (generation != incarnation_) return;  // transition revoked by a crash
   assert(state_ == PowerState::kWaking);
   state_ = PowerState::kActive;
   try_start_jobs(now, queue);
@@ -212,8 +224,10 @@ void Server::handle_wake_complete(Time now, EventQueue& queue, PowerPolicy& poli
   }
 }
 
-void Server::handle_sleep_complete(Time now, EventQueue& queue, PowerPolicy& policy) {
+void Server::handle_sleep_complete(Time now, EventQueue& queue, PowerPolicy& policy,
+                                   std::uint64_t generation) {
   (void)policy;
+  if (generation != incarnation_) return;  // transition revoked by a crash
   assert(state_ == PowerState::kFallingAsleep);
   state_ = PowerState::kSleep;
   refresh_power(now);
@@ -229,6 +243,64 @@ void Server::handle_idle_timeout(std::uint64_t generation, Time now, EventQueue&
   (void)policy;
   if (state_ != PowerState::kIdle || generation != timeout_generation_) return;  // stale
   begin_sleep(now, queue);
+}
+
+std::vector<Job> Server::handle_crash(Time now) {
+  if (state_ == PowerState::kFailed) return {};  // no-op crash on a dead server
+  std::vector<Job> killed;
+  killed.reserve(running_.size() + queue_.size());
+  for (RunningJob& r : running_) {
+    if (metrics_ != nullptr) {
+      metrics_->on_job_killed((now - r.start) * r.job.demand[0], now);
+    }
+    killed.push_back(std::move(r.job));
+  }
+  for (Job& j : queue_) {
+    // Queued work lost no CPU progress, only wall time.
+    if (metrics_ != nullptr) metrics_->on_job_killed(0.0, now);
+    killed.push_back(std::move(j));
+  }
+  running_.clear();
+  queue_.clear();
+  used_ = ResourceVector(cfg_.num_resources, 0.0);
+  ++incarnation_;         // invalidates pending finish/wake/sleep events
+  ++timeout_generation_;  // and any pending idle timeout
+  state_ = PowerState::kFailed;
+  failed_since_ = now;
+  update_trackers(now);
+  refresh_power(now);
+  if (metrics_ != nullptr) metrics_->on_crash(now);
+  return killed;
+}
+
+void Server::handle_recover(Time now) {
+  if (state_ != PowerState::kFailed) return;  // no crash happened (or double recover)
+  state_ = PowerState::kSleep;  // cold boot: the next placement wakes it
+  refresh_power(now);
+  if (metrics_ != nullptr) metrics_->on_recovery(now - failed_since_, now);
+}
+
+std::vector<Job> Server::handle_eviction(Time now, EventQueue& queue, PowerPolicy& policy) {
+  if (running_.empty()) return {};  // nothing to revoke (sleeping/idle/failed)
+  assert(state_ == PowerState::kActive);
+  std::vector<Job> killed;
+  killed.reserve(running_.size());
+  for (RunningJob& r : running_) {
+    if (metrics_ != nullptr) {
+      metrics_->on_job_killed((now - r.start) * r.job.demand[0], now);
+    }
+    used_.subtract(r.job.demand);
+    killed.push_back(std::move(r.job));
+  }
+  running_.clear();
+  used_.clamp(0.0, 1.0);
+  ++incarnation_;  // invalidates the revoked jobs' pending finish events
+  if (metrics_ != nullptr) metrics_->on_eviction(now);
+  try_start_jobs(now, queue);  // queued jobs survive the revocation
+  if (running_.empty() && queue_.empty()) {
+    enter_idle(now, queue, policy);
+  }
+  return killed;
 }
 
 }  // namespace hcrl::sim

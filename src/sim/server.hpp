@@ -30,6 +30,7 @@ enum class PowerState : std::uint8_t {
   kActive,         // at least one job running
   kIdle,           // powered on, no jobs
   kFallingAsleep,  // active/idle -> sleep transition (takes Toff)
+  kFailed,         // crash-failed (fault injection); draws no power
 };
 
 const char* to_string(PowerState s) noexcept;
@@ -52,11 +53,32 @@ class Server {
 
   // ---- event handlers (called by the Cluster engine) ----------------------
   void handle_arrival(const Job& job, Time now, EventQueue& queue, PowerPolicy& policy);
-  void handle_job_finish(JobId job, Time now, EventQueue& queue, PowerPolicy& policy);
-  void handle_wake_complete(Time now, EventQueue& queue, PowerPolicy& policy);
-  void handle_sleep_complete(Time now, EventQueue& queue, PowerPolicy& policy);
+  /// The `generation` on finish/wake/sleep events carries the server's
+  /// incarnation at scheduling time; a crash or eviction bumps it, so
+  /// events scheduled before the fault arrive stale and are dropped.
+  /// (Always 0 == 0 when fault injection is off — bit-identical behavior.)
+  void handle_job_finish(JobId job, Time now, EventQueue& queue, PowerPolicy& policy,
+                         std::uint64_t generation = 0);
+  void handle_wake_complete(Time now, EventQueue& queue, PowerPolicy& policy,
+                            std::uint64_t generation = 0);
+  void handle_sleep_complete(Time now, EventQueue& queue, PowerPolicy& policy,
+                             std::uint64_t generation = 0);
   void handle_idle_timeout(std::uint64_t generation, Time now, EventQueue& queue,
                            PowerPolicy& policy);
+
+  // ---- fault injection (see src/sim/fault/fault.hpp) -----------------------
+  /// Full-server crash: every running and queued job is revoked and
+  /// returned (the engine routes them into the retry stream); pending
+  /// finish/wake/sleep/timeout events go stale via the incarnation bump.
+  /// No-op (empty return) when already failed.
+  std::vector<Job> handle_crash(Time now);
+  /// Repair completes: kFailed -> kSleep (cold boot; the next placement
+  /// wakes it). No-op unless failed.
+  void handle_recover(Time now);
+  /// Spot revocation: running jobs are revoked and returned; queued jobs
+  /// survive and may start immediately. No-op (empty return) when nothing
+  /// is running.
+  std::vector<Job> handle_eviction(Time now, EventQueue& queue, PowerPolicy& policy);
 
   /// Deferred half of the idle decision (batched decision epochs): apply the
   /// timeout a policy staged via PowerPolicy::defer_idle at time `staged_at`,
@@ -71,6 +93,9 @@ class Server {
   ServerId id() const noexcept { return id_; }
   PowerState power_state() const noexcept { return state_; }
   bool is_on() const noexcept { return state_ == PowerState::kActive || state_ == PowerState::kIdle; }
+  bool failed() const noexcept { return state_ == PowerState::kFailed; }
+  /// Bumped on every crash/eviction; stamps newly scheduled events.
+  std::uint64_t incarnation() const noexcept { return incarnation_; }
   /// Utilization of one resource dimension (0 = CPU), in [0, 1].
   double utilization(std::size_t resource = 0) const { return used_[resource]; }
   const ResourceVector& used() const noexcept { return used_; }
@@ -120,6 +145,8 @@ class Server {
   std::deque<Job> queue_;
   std::vector<RunningJob> running_;
   std::uint64_t timeout_generation_ = 0;
+  std::uint64_t incarnation_ = 0;
+  Time failed_since_ = 0.0;
 
   common::TimeWeightedValue power_;
   common::TimeWeightedValue queue_len_;

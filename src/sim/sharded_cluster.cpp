@@ -58,6 +58,24 @@ ShardedCluster::ShardedCluster(const ShardedClusterConfig& cfg, AllocationPolicy
   set_server_view({servers_.data(), servers_.size()});
 }
 
+void ShardedCluster::install_faults(FaultInjector* faults) {
+  if (jobs_loaded_) throw std::logic_error("ShardedCluster::install_faults: jobs already loaded");
+  if (faults != nullptr && cfg_.execution == ShardedClusterConfig::Execution::kParallel) {
+    throw std::invalid_argument(
+        "ShardedCluster: fault injection requires lockstep execution (the retry "
+        "stream is a cross-shard interaction the parallel window protocol cannot order)");
+  }
+  if (faults != nullptr) {
+    for (const FaultEvent& f : faults->plan().events) {
+      if (f.server >= servers_.size()) {
+        throw std::invalid_argument("ShardedCluster::install_faults: plan targets server " +
+                                    std::to_string(f.server) + " out of range");
+      }
+    }
+  }
+  faults_ = faults;
+}
+
 void ShardedCluster::load_jobs(std::vector<Job> jobs) {
   if (jobs_loaded_) throw std::logic_error("ShardedCluster::load_jobs: already loaded");
   if (jobs.size() > static_cast<std::size_t>(std::numeric_limits<JobId>::max())) {
@@ -98,6 +116,18 @@ void ShardedCluster::load_jobs(std::vector<Job> jobs) {
     }
     next_arrival_ = jobs_.size();
   }
+
+  // Fault-plan events land per owning shard, in plan order, before any
+  // runtime event is pushed: within each shard they hold the smallest seqs
+  // (lockstep arrivals come via the cursor, not the queues). The plan's
+  // (time, server, kind) sort plus the contiguous ascending shard ranges
+  // make the merged (time, shard, seq) pop order equal to the serial
+  // engine's (time, seq) order for every shard count.
+  if (faults_ != nullptr) {
+    for (const FaultEvent& f : faults_->plan().events) {
+      shards_[owner_[f.server]].queue.push(f.time, to_event_type(f.kind), f.server);
+    }
+  }
 }
 
 ShardedCluster::MergedTop ShardedCluster::merged_top() const {
@@ -112,6 +142,17 @@ ShardedCluster::MergedTop ShardedCluster::merged_top() const {
       best.shard = s;
     }
   }
+  // Equal-time precedence (matches Cluster::step): trace arrival, then
+  // retry, then heap events — the retry check comes first so the arrival
+  // check below can still overrule it.
+  if (faults_ != nullptr && faults_->has_pending_retry()) {
+    const Time rt = faults_->next_retry_time();
+    if (!best.any || rt <= best.time) {
+      best.any = true;
+      best.is_retry = true;
+      best.time = rt;
+    }
+  }
   if (next_arrival_ < jobs_.size()) {
     const Time ta = jobs_[next_arrival_].arrival;
     // Arrivals win time-ties: in the serial engine they were pushed at load
@@ -119,6 +160,7 @@ ShardedCluster::MergedTop ShardedCluster::merged_top() const {
     if (!best.any || ta <= best.time) {
       best.any = true;
       best.is_arrival = true;
+      best.is_retry = false;
       best.time = ta;
     }
   }
@@ -134,11 +176,12 @@ bool ShardedCluster::step() {
   // time advance, any arrival, or queue drain. The flush may push events
   // earlier than the current merged top, so re-derive it afterwards.
   MergedTop top = merged_top();
+  // Retries are re-arrivals: for the barrier they count like arrivals.
   if (power_policy_.has_staged_decisions() &&
-      (!top.any || top.time != now_ || top.is_arrival)) {
-    count_flush(!top.any            ? FlushReason::kDrain
-                : top.is_arrival   ? FlushReason::kArrival
-                                   : FlushReason::kTimeAdvance);
+      (!top.any || top.time != now_ || top.is_arrival || top.is_retry)) {
+    count_flush(!top.any                         ? FlushReason::kDrain
+                : top.is_arrival || top.is_retry ? FlushReason::kArrival
+                                                 : FlushReason::kTimeAdvance);
     power_policy_.flush_decisions();
     top = merged_top();
   }
@@ -155,6 +198,9 @@ bool ShardedCluster::step() {
     const Job& job = jobs_[next_arrival_];
     ++next_arrival_;
     deliver_arrival(job);
+  } else if (top.is_retry) {
+    const FaultInjector::Retry r = faults_->pop_retry();
+    deliver_arrival(r.job);
   } else {
     Shard& sh = shards_[top.shard];
     const Event e = sh.queue.pop();
@@ -171,13 +217,35 @@ void ShardedCluster::deliver_arrival(const Job& job) {
   }
   Shard& sh = shards_[owner_[target]];
   ++sh.events;
-  if (telemetry::enabled()) {
-    const SimMetrics& m = SimMetrics::get();
-    telemetry::count(m.events);
-    telemetry::count(m.arrivals);
+  if (telemetry::enabled()) telemetry::count(SimMetrics::get().events);
+  if (faults_ != nullptr && servers_[target].failed()) {
+    // Transient allocation failure: bounce into the retry stream (same
+    // semantics as Cluster::dispatch_arrival), accounted on the owner shard.
+    sh.metrics->on_bounce();
+    if (faults_->schedule_retry(job, now_)) {
+      sh.metrics->on_retry();
+      if (telemetry::enabled()) telemetry::count(SimMetrics::get().fault_retries);
+    } else {
+      sh.metrics->on_job_lost();
+      if (telemetry::enabled()) telemetry::count(SimMetrics::get().fault_lost);
+    }
+    return;
   }
+  if (telemetry::enabled()) telemetry::count(SimMetrics::get().arrivals);
   sh.metrics->on_arrival(job, now_);
   servers_[target].handle_arrival(job, now_, sh.queue, power_policy_);
+}
+
+void ShardedCluster::requeue_killed(Shard& sh, const std::vector<Job>& killed) {
+  for (const Job& j : killed) {
+    if (faults_ != nullptr && faults_->schedule_retry(j, sh.clock)) {
+      sh.metrics->on_retry();
+      if (telemetry::enabled()) telemetry::count(SimMetrics::get().fault_retries);
+    } else {
+      sh.metrics->on_job_lost();
+      if (telemetry::enabled()) telemetry::count(SimMetrics::get().fault_lost);
+    }
+  }
 }
 
 void ShardedCluster::handle_shard_event(Shard& sh, const Event& e) {
@@ -196,16 +264,27 @@ void ShardedCluster::handle_shard_event(Shard& sh, const Event& e) {
       break;
     }
     case EventType::kJobFinish:
-      servers_[e.server].handle_job_finish(e.job, e.time, sh.queue, power_policy_);
+      servers_[e.server].handle_job_finish(e.job, e.time, sh.queue, power_policy_, e.generation);
       break;
     case EventType::kWakeComplete:
-      servers_[e.server].handle_wake_complete(e.time, sh.queue, power_policy_);
+      servers_[e.server].handle_wake_complete(e.time, sh.queue, power_policy_, e.generation);
       break;
     case EventType::kSleepComplete:
-      servers_[e.server].handle_sleep_complete(e.time, sh.queue, power_policy_);
+      servers_[e.server].handle_sleep_complete(e.time, sh.queue, power_policy_, e.generation);
       break;
     case EventType::kIdleTimeout:
       servers_[e.server].handle_idle_timeout(e.generation, e.time, sh.queue, power_policy_);
+      break;
+    case EventType::kServerCrash:
+      if (telemetry::enabled()) telemetry::count(SimMetrics::get().fault_crashes);
+      requeue_killed(sh, servers_[e.server].handle_crash(e.time));
+      break;
+    case EventType::kServerRecover:
+      servers_[e.server].handle_recover(e.time);
+      break;
+    case EventType::kSpotEvict:
+      if (telemetry::enabled()) telemetry::count(SimMetrics::get().fault_evictions);
+      requeue_killed(sh, servers_[e.server].handle_eviction(e.time, sh.queue, power_policy_));
       break;
   }
 }
@@ -400,6 +479,12 @@ std::size_t ShardedCluster::servers_on() const {
   return v;
 }
 
+std::size_t ShardedCluster::servers_failed() const {
+  std::size_t v = 0;
+  for (const Shard& sh : shards_) v += sh.metrics->servers_failed();
+  return v;
+}
+
 MetricsSnapshot ShardedCluster::snapshot() const {
   const Time t = end_time();
   MetricsSnapshot agg;
@@ -412,6 +497,15 @@ MetricsSnapshot ShardedCluster::snapshot() const {
     agg.accumulated_latency_s += s.accumulated_latency_s;
     agg.jobs_in_system += s.jobs_in_system;
     agg.reliability_penalty += s.reliability_penalty;
+    agg.faults.crashes += s.faults.crashes;
+    agg.faults.recoveries += s.faults.recoveries;
+    agg.faults.evictions += s.faults.evictions;
+    agg.faults.jobs_killed += s.faults.jobs_killed;
+    agg.faults.bounces += s.faults.bounces;
+    agg.faults.retries += s.faults.retries;
+    agg.faults.jobs_lost += s.faults.jobs_lost;
+    agg.faults.lost_cpu_seconds += s.faults.lost_cpu_seconds;
+    agg.faults.downtime_s += s.faults.downtime_s;
   }
   agg.average_power_watts = t > 0.0 ? agg.energy_joules / t : 0.0;
   return agg;

@@ -56,6 +56,13 @@ class ShardedCluster final : public ClusterView {
   ShardedCluster(const ShardedClusterConfig& cfg, AllocationPolicy& allocation,
                  PowerPolicy& power);
 
+  /// Install deterministic fault injection (borrowed; must outlive the
+  /// engine). Must be called before load_jobs. Lockstep mode only: throws
+  /// std::invalid_argument in kParallel mode, where the retry stream and
+  /// crash/recover events would be cross-shard interactions that break the
+  /// conservative-lookahead window protocol.
+  void install_faults(FaultInjector* faults);
+
   /// Load the trace (sorted by arrival, unique ids; may be called once).
   /// In parallel mode with a RoutingMode::kTraceOnly allocator the arrivals
   /// are routed here, in trace order, and pushed into their shards' queues.
@@ -85,6 +92,7 @@ class ShardedCluster final : public ClusterView {
   std::size_t jobs_completed() const noexcept override;
   double mean_cpu_utilization() const override;
   std::size_t servers_on() const override;
+  std::size_t servers_failed() const override;
 
   MetricsSnapshot snapshot() const;
   const ClusterMetrics& shard_metrics(std::size_t shard) const {
@@ -105,13 +113,17 @@ class ShardedCluster final : public ClusterView {
 
   struct MergedTop {
     bool any = false;
-    bool is_arrival = false;
+    bool is_arrival = false;  // trace arrival (cursor)
+    bool is_retry = false;    // fault-injected re-arrival (injector heap)
     Time time = 0.0;
     std::size_t shard = 0;
   };
 
   MergedTop merged_top() const;
   void deliver_arrival(const Job& job);
+  /// Route jobs revoked by a crash/eviction into the retry stream,
+  /// accounting on the shard that owned the killing event.
+  void requeue_killed(Shard& sh, const std::vector<Job>& killed);
   void handle_shard_event(Shard& shard, const Event& e);
   void drain_shard(std::size_t shard, Time bound);
   void run_parallel();
@@ -124,6 +136,7 @@ class ShardedCluster final : public ClusterView {
   std::vector<std::size_t> owner_;  // server id -> shard index
   std::vector<Server> servers_;
   std::vector<Job> jobs_;
+  FaultInjector* faults_ = nullptr;  // not owned; null = faults off
   std::size_t next_arrival_ = 0;  // coordinator cursor (unused when pre-routed)
   bool pre_routed_ = false;
   bool jobs_loaded_ = false;

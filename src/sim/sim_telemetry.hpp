@@ -21,6 +21,11 @@ struct SimMetrics {
   telemetry::MetricId flush_time_advance;
   telemetry::MetricId flush_arrival;
   telemetry::MetricId flush_forced;
+  // Fault injection (see src/sim/fault/fault.hpp).
+  telemetry::MetricId fault_crashes;
+  telemetry::MetricId fault_evictions;
+  telemetry::MetricId fault_retries;
+  telemetry::MetricId fault_lost;
 
   static const SimMetrics& get() {
     static const SimMetrics m = [] {
@@ -33,6 +38,10 @@ struct SimMetrics {
           .flush_time_advance = reg.counter("sim.epoch_flush.time_advance"),
           .flush_arrival = reg.counter("sim.epoch_flush.arrival"),
           .flush_forced = reg.counter("sim.epoch_flush.forced"),
+          .fault_crashes = reg.counter("sim.faults.crashes"),
+          .fault_evictions = reg.counter("sim.faults.evictions"),
+          .fault_retries = reg.counter("sim.faults.retries"),
+          .fault_lost = reg.counter("sim.faults.jobs_lost"),
       };
     }();
     return m;

@@ -48,9 +48,15 @@ class ResourceVector {
 /// A job / VM request: the unit of work dispatched by the broker.
 struct Job {
   JobId id = 0;
-  Time arrival = 0.0;      // cluster arrival time
+  Time arrival = 0.0;      // cluster arrival time (rewritten on retry delivery)
   Time duration = 0.0;     // execution time once started (> 0)
   ResourceVector demand;   // normalized per-resource request, each in (0, 1]
+  /// Original submission time; < 0 means "never retried" (== arrival).
+  /// Fault-injected retries set this so latency/SLA accounting measures
+  /// from first submission, not from the last re-delivery.
+  Time submitted = -1.0;
+
+  Time submit_time() const noexcept { return submitted < 0.0 ? arrival : submitted; }
 
   void validate(std::size_t expected_dims) const;
 };

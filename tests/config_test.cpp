@@ -20,8 +20,13 @@ TEST(Config, IgnoresCommentsAndBlankLines) {
   EXPECT_EQ(cfg.keys().size(), 1u);
 }
 
-TEST(Config, LaterDuplicateWins) {
-  const Config cfg = Config::from_string("x = 1\nx = 2\n");
+TEST(Config, DuplicateKeyThrows) {
+  // A repeated key in config *text* is a copy-paste mistake, not an override;
+  // programmatic Config::set keeps last-write-wins.
+  EXPECT_THROW(Config::from_string("x = 1\nx = 2\n"), std::invalid_argument);
+  Config cfg;
+  cfg.set("x", std::int64_t{1});
+  cfg.set("x", std::int64_t{2});
   EXPECT_EQ(cfg.get_int("x"), 2);
 }
 

@@ -1,8 +1,15 @@
 // Randomized property tests: invariants must survive adversarial policies,
-// random timeouts and random traces.
+// random timeouts, random traces — and adversarial config text, which must
+// always fail with a defined std::invalid_argument-family error instead of
+// UB or silent acceptance.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
+#include "src/common/config.hpp"
 #include "src/common/rng.hpp"
+#include "src/core/config_binding.hpp"
 #include "src/sim/cluster.hpp"
 #include "src/workload/generator.hpp"
 
@@ -111,6 +118,112 @@ TEST_P(HeavyLoadFuzz, OverloadedClusterStillConserves) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HeavyLoadFuzz, testing::Values(2u, 4u, 6u));
+
+// ---- adversarial config text ------------------------------------------------
+
+/// Every malformed input must surface as std::invalid_argument (or a
+/// subclass) from the parse/bind layer — never UB, never silent acceptance.
+void expect_rejected(const std::string& text) {
+  SCOPED_TRACE("config text: " + text);
+  EXPECT_THROW(
+      {
+        const common::Config cfg = common::Config::from_string(text);
+        (void)core::experiment_config_from(cfg);
+      },
+      std::invalid_argument);
+}
+
+TEST(ConfigRobustness, MalformedLinesThrow) {
+  expect_rejected("just a line with no equals\n");
+  expect_rejected("= 1\n");                     // empty key
+  expect_rejected("   =   \n");                 // empty key and value
+  expect_rejected("num_servers =\n");           // empty value for an int key
+  expect_rejected("num_servers = 4 extra\n");   // trailing junk after the int
+}
+
+TEST(ConfigRobustness, DuplicateKeysThrow) {
+  expect_rejected("num_servers = 4\nnum_servers = 8\n");
+  expect_rejected("faults.mtbf_s = 100\nfaults.mtbf_s = 100\n");  // even identical
+}
+
+TEST(ConfigRobustness, OutOfRangeNumericsThrow) {
+  expect_rejected("num_servers = -3\n");
+  expect_rejected("trace.num_jobs = -1\n");
+  expect_rejected("pretrain_jobs = -2\n");
+  expect_rejected("shards = -1\n");
+  expect_rejected("num_servers = 99999999999999999999999\n");  // overflows int64
+  expect_rejected("num_servers = twelve\n");
+  expect_rejected("watchdog_s = -5\n");
+  expect_rejected("watchdog_s = nan\n");
+}
+
+TEST(ConfigRobustness, AbsurdFaultValuesThrow) {
+  expect_rejected("faults.mtbf_s = -1\n");
+  expect_rejected("faults.mtbf_s = nan\n");
+  expect_rejected("faults.mtbf_s = 100\nfaults.mttr_s = 0\n");  // crashes, no repair
+  expect_rejected("faults.evict_every_s = -0.5\n");
+  expect_rejected("faults.backoff_jitter = 2\n");               // must be < 1
+  expect_rejected("faults.backoff_jitter = -0.25\n");
+  expect_rejected("faults.backoff_base_s = 900\nfaults.backoff_cap_s = 30\n");
+  expect_rejected("faults.max_retries = -1\n");
+  expect_rejected("faults.max_retries = 99999999\n");           // absurd budget
+  expect_rejected("faults.horizon_padding_s = -10\n");
+}
+
+TEST(ConfigRobustness, ValidFaultKeysStillBind) {
+  // The guard rails must not reject the documented shape.
+  const common::Config cfg = common::Config::from_string(
+      "num_servers = 6\n"
+      "faults.mtbf_s = 14400\n"
+      "faults.mttr_s = 600\n"
+      "faults.evict_every_s = 21600\n"
+      "faults.max_retries = 5\n"
+      "faults.backoff_base_s = 30\n"
+      "faults.backoff_cap_s = 600\n"
+      "faults.backoff_jitter = 0.25\n"
+      "faults.seed = 9\n"
+      "watchdog_s = 120\n");
+  const core::ExperimentConfig bound = core::experiment_config_from(cfg);
+  EXPECT_TRUE(bound.faults.enabled());
+  EXPECT_DOUBLE_EQ(bound.faults.mtbf_s, 14400.0);
+  EXPECT_EQ(bound.faults.max_retries, 5u);
+  EXPECT_DOUBLE_EQ(bound.watchdog_s, 120.0);
+}
+
+class ConfigSoupFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConfigSoupFuzz, RandomKeyValueSoupParsesOrThrowsCleanly) {
+  // Random mixes of real keys and garbage values: the bind either yields a
+  // validated config or throws std::invalid_argument. Anything else (crash,
+  // sanitizer report, silent wrap-around) fails the suite.
+  static const char* kKeys[] = {"num_servers",       "num_groups",        "pretrain_jobs",
+                                "shards",            "trace.num_jobs",    "faults.mtbf_s",
+                                "faults.mttr_s",     "faults.max_retries", "faults.backoff_jitter",
+                                "watchdog_s",        "system",            "fixed_timeout_s"};
+  static const char* kValues[] = {"0",    "1",        "-1",  "4",     "3.5",  "-3.5",
+                                  "nan",  "inf",      "1e#", "",      "true", "hierarchical",
+                                  "1e308", "99999999999999999999999", "0.25", "x"};
+  common::Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::string text;
+    const int lines = static_cast<int>(rng.uniform_int(1, 6));
+    for (int l = 0; l < lines; ++l) {
+      text += kKeys[rng.uniform_int(0, std::size(kKeys) - 1)];
+      text += " = ";
+      text += kValues[rng.uniform_int(0, std::size(kValues) - 1)];
+      text += "\n";
+    }
+    try {
+      const common::Config cfg = common::Config::from_string(text);
+      const core::ExperimentConfig bound = core::experiment_config_from(cfg);
+      bound.validate();  // accepted configs must be internally consistent
+    } catch (const std::invalid_argument&) {
+      // defined rejection — fine
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigSoupFuzz, testing::Values(11u, 23u, 47u));
 
 }  // namespace
 }  // namespace hcrl

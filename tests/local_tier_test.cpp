@@ -188,7 +188,10 @@ TEST(RlPowerManager, LearnsGapAppropriateTimeouts) {
             server.handle_idle_timeout(e.generation, e.time, queue, mgr);
             break;
           case sim::EventType::kJobArrival:
-            break;
+          case sim::EventType::kServerCrash:
+          case sim::EventType::kServerRecover:
+          case sim::EventType::kSpotEvict:
+            break;  // not produced by a single fault-free server
         }
       }
       t = next_t;

@@ -195,10 +195,13 @@ TEST(ScenarioRegistry, MakeGroupSharesOneTraceSource) {
 TEST(ScenarioRegistry, MakeGroupKeepsDistinctTracesApart) {
   // table1 spans M=30 and M=40 — same generator options, so ONE trace is
   // correct across both cluster sizes (the paper runs both sizes on the
-  // same workload segment).
+  // same workload segment). The -faulty rider perturbs servers, not the
+  // workload, so it shares that trace too.
   const auto group = ScenarioRegistry::builtin().make_group("table1/", 400);
-  ASSERT_EQ(group.size(), 6u);
+  ASSERT_EQ(group.size(), 7u);
   EXPECT_EQ(group[0].trace.get(), group[5].trace.get());
+  EXPECT_EQ(group[0].trace.get(), group[6].trace.get());
+  EXPECT_EQ(group[6].name, "table1/m30/hierarchical-faulty");
 
   // fig8 (M=30) and fig9 (M=40) share generator options too, but a tiny
   // scenario with a different trace scale must get its own source.
